@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation.  The pytest-benchmark fixture times the headline
+computation once (``pedantic(rounds=1)``) -- these are experiments, not
+micro-benchmarks -- and each bench *prints* the reproduced rows/series
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them) and
+appends them to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.liberty import core9_hs, core9_ll
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it under benchmarks/results."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def hs_library():
+    return core9_hs()
+
+
+@pytest.fixture(scope="session")
+def ll_library():
+    return core9_ll()
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once through pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: desynchronize a small pipeline and look at everything.
+
+Builds a gate-level three-stage pipeline on the synthetic 90nm library,
+runs the ``drdesync`` tool on it, prints what the tool did, verifies
+flow-equivalence by simulation, and writes the exported artefacts
+(Verilog netlist + SDC constraints) next to this script.
+"""
+
+import os
+
+from repro.desync import Drdesync
+from repro.designs import pipeline3
+from repro.liberty import core9_hs
+from repro.sim import check_flow_equivalence
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main() -> None:
+    library = core9_hs()
+    design = pipeline3(library, width=8)
+    golden = design.clone()  # keep the synchronous version for comparison
+
+    print(f"synchronous design : {len(design.instances)} cells")
+
+    tool = Drdesync(library)
+    result = tool.run(design)
+
+    print("\ndesynchronization summary:")
+    for key, value in result.summary().items():
+        print(f"  {key:22s} {value}")
+
+    print("\nregions and matched delay elements:")
+    for region, delay in sorted(result.network.region_delays.items()):
+        element = result.network.delay_elements.get(region)
+        if element is not None:
+            print(
+                f"  {region:4s} cloud delay {delay:6.3f} ns "
+                f"-> delay element of {element.length} AND levels"
+            )
+
+    print("\ndata-dependency graph edges:")
+    for src, dst in sorted(result.ddg.edges()):
+        print(f"  {src} -> {dst}")
+
+    # the central property: identical data sequences
+    def stimulus(cycle):
+        return {f"din[{i}]": ((37 * cycle + 5) >> i) & 1 for i in range(8)}
+
+    report = check_flow_equivalence(
+        golden, result, library, cycles=10, stimulus=stimulus
+    )
+    print(
+        f"\nflow-equivalence: {report.compared} sequential elements "
+        f"compared, {'OK' if report.equivalent else 'BROKEN'}"
+    )
+
+    verilog_path = os.path.join(HERE, "pipeline3_desync.v")
+    sdc_path = os.path.join(HERE, "pipeline3_desync.sdc")
+    with open(verilog_path, "w") as handle:
+        handle.write(result.export_verilog())
+    with open(sdc_path, "w") as handle:
+        handle.write(result.export_sdc())
+    print(f"\nwrote {verilog_path}")
+    print(f"wrote {sdc_path}")
+
+
+if __name__ == "__main__":
+    main()

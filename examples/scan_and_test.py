@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""DFT through desynchronization (sections 4.3 and 2.1).
+
+Desynchronization's testing argument: flow-equivalence means the same
+synchronous test vectors keep working.  This example
+
+1. inserts scan into a pipeline and grades random patterns against
+   stuck-at faults on the synchronous design,
+2. desynchronizes the scan design (the ARM path of section 5.3),
+3. shows that the capture sequences -- what the tester would shift out
+   -- stay byte-identical between the two implementations.
+"""
+
+from repro.desync import Drdesync
+from repro.designs import pipeline3
+from repro.dft import generate_tests, insert_scan
+from repro.liberty import core9_hs
+from repro.sim import check_flow_equivalence
+
+
+def main() -> None:
+    library = core9_hs()
+    design = pipeline3(library, width=8)
+
+    scan = insert_scan(design, library)
+    print(f"scan inserted: {scan.replaced} flip-flops swapped, "
+          f"chain of {len(scan.chain)}")
+
+    atpg = generate_tests(design, library, n_patterns=24, max_faults=80)
+    print(f"random-pattern test generation: {len(atpg.patterns)} patterns, "
+          f"{atpg.detected}/{atpg.total_faults} stuck-at faults detected "
+          f"({atpg.coverage * 100:.1f}% coverage)")
+
+    golden = design.clone()
+    result = Drdesync(library).run(design)
+    print(f"desynchronized scan design: {len(design.instances)} cells, "
+          f"{result.summary()['regions']} regions")
+
+    def stimulus(cycle):
+        values = {"scan_in": 0, "scan_en": 0}
+        values.update(
+            {f"din[{i}]": ((11 * cycle + 3) >> i) & 1 for i in range(8)}
+        )
+        return values
+
+    report = check_flow_equivalence(
+        golden, result, library, cycles=10, stimulus=stimulus
+    )
+    print(
+        f"capture sequences compared for {report.compared} elements: "
+        f"{'IDENTICAL' if report.equivalent else 'MISMATCH'} -- the "
+        "synchronous test vectors remain valid for the desynchronized chip"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""``drdesync`` command-line interface (section 3.2: "the tool has a
+command line interface and the desynchronization operation consists of
+a sequence of steps").
+
+Usage::
+
+    drdesync design.v -o out.v --sdc out.sdc [--blif out.blif]
+             [--library hs|ll | --liberty file.lib]
+             [--group auto|single] [--false-path NET ...]
+             [--margin 0.10] [--mux-taps 8] [--gatefile out.gatefile]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .desync.tool import DesyncOptions, Drdesync
+from .liberty.core9 import core9_hs, core9_ll
+from .liberty.parser import read_liberty
+from .netlist.verilog import read_verilog
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="drdesync",
+        description="Desynchronize a gate-level synchronous Verilog netlist",
+    )
+    parser.add_argument("input", help="gate-level Verilog netlist")
+    parser.add_argument("-o", "--output", help="desynchronized Verilog output")
+    parser.add_argument("--sdc", help="write physical timing constraints")
+    parser.add_argument("--blif", help="also export BLIF (SIS)")
+    parser.add_argument(
+        "--library",
+        choices=["hs", "ll"],
+        default="hs",
+        help="built-in CORE9-class library variant (default hs)",
+    )
+    parser.add_argument("--liberty", help="use an external .lib file instead")
+    parser.add_argument(
+        "--group",
+        choices=["auto", "single"],
+        default="auto",
+        help="region creation mode (default: automatic grouping)",
+    )
+    parser.add_argument(
+        "--false-path",
+        action="append",
+        default=[],
+        metavar="NET",
+        help="net to ignore during grouping (repeatable)",
+    )
+    parser.add_argument(
+        "--margin",
+        type=float,
+        default=0.10,
+        help="delay element margin over the region critical path",
+    )
+    parser.add_argument(
+        "--mux-taps",
+        type=int,
+        default=0,
+        help="multiplexed delay-element taps (0 = fixed length)",
+    )
+    parser.add_argument("--top", help="top module name (default: first)")
+    parser.add_argument(
+        "--gatefile", help="also write the generated gatefile"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_argument_parser().parse_args(argv)
+
+    if args.liberty:
+        library = read_liberty(args.liberty)
+    else:
+        library = core9_hs() if args.library == "hs" else core9_ll()
+
+    netlist = read_verilog(args.input)
+    if args.top:
+        netlist.set_top(args.top)
+    module = netlist.top
+
+    tool = Drdesync(library)
+    options = DesyncOptions(
+        grouping=args.group,
+        false_path_nets=tuple(args.false_path),
+        delay_margin=args.margin,
+        delay_mux_taps=args.mux_taps,
+    )
+    result = tool.run(module, options)
+
+    if args.gatefile:
+        with open(args.gatefile, "w") as handle:
+            handle.write(tool.gatefile.to_text())
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.export_verilog())
+    if args.blif:
+        with open(args.blif, "w") as handle:
+            handle.write(result.export_blif())
+    if args.sdc:
+        with open(args.sdc, "w") as handle:
+            handle.write(result.export_sdc())
+
+    if not args.quiet:
+        summary = result.summary()
+        print(f"desynchronized {module.name!r}:")
+        for key, value in summary.items():
+            print(f"  {key:22s} {value}")
+        for region, delay in sorted(result.network.region_delays.items()):
+            element = result.network.delay_elements.get(region)
+            if element is not None:
+                print(
+                    f"  region {region:8s} cloud delay {delay:7.3f} ns, "
+                    f"delay element {element.length} levels"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

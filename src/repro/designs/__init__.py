@@ -1,0 +1,37 @@
+"""Design generators: samples, the DLX CPU and the ARM-class core."""
+
+from .rtl import Builder
+from .simple import (
+    counter,
+    figure22_circuit,
+    gated_counter,
+    pipeline3,
+    scan_pipeline,
+    shift_register,
+)
+from .dlx import assemble, demo_program, dlx_core
+from .dlx_env import (
+    DlxMemories,
+    dlx_environment,
+    dlx_respond,
+    dlx_sync_stimulus,
+)
+from .arm9 import arm9_core
+
+__all__ = [
+    "Builder",
+    "DlxMemories",
+    "arm9_core",
+    "assemble",
+    "counter",
+    "demo_program",
+    "dlx_core",
+    "dlx_environment",
+    "dlx_respond",
+    "dlx_sync_stimulus",
+    "figure22_circuit",
+    "gated_counter",
+    "pipeline3",
+    "scan_pipeline",
+    "shift_register",
+]

@@ -1,0 +1,424 @@
+"""Gate-level DLX RISC CPU generator (the paper's first case study).
+
+A 32-bit, 4-stage (IF / ID / EX / MEM, Figure 5.2) pipelined DLX-subset
+processor, built directly at gate level -- no forwarding between the
+pipeline stages, exactly as in the paper.  Instruction and data
+memories are external (``instr``/``pc`` and ``dmem_*`` ports), so the
+testbench plays the memory system; the supported subset:
+
+======  ===========================================
+opcode  semantics
+======  ===========================================
+0       R-type: funct selects ADD/SUB/AND/OR/XOR/SLT/SLL/SRL/MUL
+1       ADDI  rt <- rs + simm16
+2       LW    rt <- dmem[rs + simm16]
+3       SW    dmem[rs + simm16] <- rt
+4       BEQ   if rs == rt: pc <- pc + 1 + simm16
+5       J     pc <- target26
+6       LUI   rt <- imm16 << 16
+======  ===========================================
+
+Encoding: ``[31:26] opcode | [25:21] rs | [20:16] rt | [15:11] rd |
+[15:0] imm`` and for R-type ``[5:0] funct`` (0 ADD, 1 SUB, 2 AND,
+3 OR, 4 XOR, 5 SLT, 6 SLL, 7 SRL, 8 MUL).
+
+The default parameters produce a ~8k-cell netlist (the paper's
+full-ISA DLX is 14.9k; see EXPERIMENTS.md for how the size difference
+propagates); ``registers``, ``multiplier`` and ``width`` trade size for
+build/simulation speed in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..liberty.model import Library
+from ..netlist.core import Module, PortDirection
+from .rtl import Builder
+
+# funct codes
+F_ADD, F_SUB, F_AND, F_OR, F_XOR, F_SLT, F_SLL, F_SRL, F_MUL, F_SRA = range(10)
+# opcodes
+OP_RTYPE, OP_ADDI, OP_LW, OP_SW, OP_BEQ, OP_J, OP_LUI = range(7)
+
+
+def assemble(program: Sequence[Tuple]) -> List[int]:
+    """Tiny assembler: list of tuples -> instruction words.
+
+    Forms: ("add", rd, rs, rt), ("sub", ...), ("and"/"or"/"xor"/"slt"/
+    "sll"/"srl"/"mul", rd, rs, rt), ("addi", rt, rs, imm),
+    ("lw", rt, rs, imm), ("sw", rt, rs, imm), ("beq", rs, rt, imm),
+    ("j", target), ("lui", rt, imm), ("nop",).
+    """
+    functs = {
+        "add": F_ADD, "sub": F_SUB, "and": F_AND, "or": F_OR,
+        "xor": F_XOR, "slt": F_SLT, "sll": F_SLL, "srl": F_SRL,
+        "mul": F_MUL, "sra": F_SRA,
+    }
+    words: List[int] = []
+    for inst in program:
+        op = inst[0]
+        if op == "nop":
+            words.append(0)  # add r0, r0, r0
+        elif op in functs:
+            _, rd, rs, rt = inst
+            words.append(
+                (OP_RTYPE << 26) | (rs << 21) | (rt << 16) | (rd << 11)
+                | functs[op]
+            )
+        elif op == "addi":
+            _, rt, rs, imm = inst
+            words.append((OP_ADDI << 26) | (rs << 21) | (rt << 16)
+                         | (imm & 0xFFFF))
+        elif op == "lw":
+            _, rt, rs, imm = inst
+            words.append((OP_LW << 26) | (rs << 21) | (rt << 16)
+                         | (imm & 0xFFFF))
+        elif op == "sw":
+            _, rt, rs, imm = inst
+            words.append((OP_SW << 26) | (rs << 21) | (rt << 16)
+                         | (imm & 0xFFFF))
+        elif op == "beq":
+            _, rs, rt, imm = inst
+            words.append((OP_BEQ << 26) | (rs << 21) | (rt << 16)
+                         | (imm & 0xFFFF))
+        elif op == "j":
+            words.append((OP_J << 26) | (inst[1] & 0x3FFFFFF))
+        elif op == "lui":
+            _, rt, imm = inst
+            words.append((OP_LUI << 26) | (rt << 16) | (imm & 0xFFFF))
+        else:
+            raise ValueError(f"unknown mnemonic {op!r}")
+    return words
+
+
+class _Dlx:
+    """Builds the processor into a module step by step."""
+
+    def __init__(self, library: Library, registers: int, multiplier: bool,
+                 width: int):
+        self.module = Module("dlx")
+        self.b = Builder(self.module, library)
+        self.registers = registers
+        self.multiplier = multiplier
+        self.width = width
+        self.reg_bits = max((registers - 1).bit_length(), 1)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Module:
+        b = self.b
+        module = self.module
+        width = self.width
+        module.add_port("clk", PortDirection.INPUT)
+        instr_in = b.input_port("instr", 32)
+        dmem_rdata = b.input_port("dmem_rdata", width)
+        pc_out = b.output_port("pc", width)
+        dmem_addr = b.output_port("dmem_addr", width)
+        dmem_wdata = b.output_port("dmem_wdata", width)
+        dmem_we = b.output_port("dmem_we")
+
+        # ---------------- IF: program counter -------------------------
+        pc = [f"pc_q[{i}]" for i in range(width)]
+        for net in pc:
+            module.ensure_net(net)
+        pc_plus1 = b.incrementer(pc, name="pcinc")
+
+        # branch/jump resolution happens in EX (computed below); the
+        # pc-next mux nets are declared now and driven later
+        pc_next = b.bus("pc_next", width)
+        for i in range(width):
+            b.dff(pc_next[i], pc[i], name=f"r_pc_{i}")
+        b.connect_output(pc, pc_out)
+
+        # IF/ID pipeline register: the fetched instruction
+        ir = b.register_bus(instr_in, "ir")
+        pc1_id = b.register_bus(pc_plus1, "pc1_id")
+
+        # ---------------- ID: decode + register read ------------------
+        opcode = ir[26:32]
+        rs = ir[21:26][: self.reg_bits]
+        rt = ir[16:21][: self.reg_bits]
+        rd = ir[11:16][: self.reg_bits]
+        funct = ir[0:6]
+        imm16 = ir[0:16]
+
+        is_rtype = b.equals_const(opcode, OP_RTYPE)
+        is_addi = b.equals_const(opcode, OP_ADDI)
+        is_lw = b.equals_const(opcode, OP_LW)
+        is_sw = b.equals_const(opcode, OP_SW)
+        is_beq = b.equals_const(opcode, OP_BEQ)
+        is_j = b.equals_const(opcode, OP_J)
+        is_lui = b.equals_const(opcode, OP_LUI)
+
+        # register file: written in MEM stage (no forwarding)
+        wb_en = module.ensure_net("wb_en").name
+        wb_addr = [f"wb_addr[{i}]" for i in range(self.reg_bits)]
+        wb_data = [f"wb_data[{i}]" for i in range(width)]
+        for net in wb_addr + wb_data:
+            module.ensure_net(net)
+        regs_q = self._register_file(wb_en, wb_addr, wb_data)
+
+        read_a = self._read_port(regs_q, rs, "rpa")
+        read_b = self._read_port(regs_q, rt, "rpb")
+
+        # sign-extended immediate / LUI immediate
+        sign = imm16[15]
+        simm = list(imm16) + [sign] * (width - 16)
+        simm = simm[:width]
+        lui_imm = [self.module.constant_net(0).name] * 16 + list(imm16)
+        lui_imm = lui_imm[:width]
+        imm_sel = b.mux_bus(simm, lui_imm, is_lui, name="immsel")
+
+        use_imm = b.or2(b.or2(is_addi, is_lw), b.or2(is_sw, is_lui))
+        alu_b = b.mux_bus(read_b, imm_sel, use_imm, name="alub")
+
+        # ID/EX pipeline registers
+        a_ex = b.register_bus(read_a, "a_ex")
+        b_ex = b.register_bus(alu_b, "b_ex")
+        store_ex = b.register_bus(read_b, "store_ex")
+        pc1_ex = b.register_bus(pc1_id, "pc1_ex")
+        simm_ex = b.register_bus(simm, "simm_ex")
+        funct_ex = b.register_bus(funct[:4], "funct_ex")
+        shamt_ex = b.register_bus(rt[:5] if len(rt) >= 5 else rt, "shamt_ex")
+        ctrl = {
+            "rtype": is_rtype, "lw": is_lw, "sw": is_sw, "beq": is_beq,
+            "j": is_j, "lui": is_lui,
+        }
+        ctrl_ex = {
+            name: b.register_bus([net], f"c_{name}_ex")[0]
+            for name, net in ctrl.items()
+        }
+        dest = b.mux_bus(rt, rd, is_rtype, name="dstsel")
+        dest_ex = b.register_bus(dest, "dest_ex")
+        # jump target (lower bits of the instruction)
+        jtgt = list(ir[0:min(26, width)])
+        jtgt += [self.module.constant_net(0).name] * (width - len(jtgt))
+        jtgt_ex = b.register_bus(jtgt[:width], "jtgt_ex")
+
+        # ---------------- EX: ALU, branch, shifter --------------------
+        alu_out = self._alu(a_ex, b_ex, funct_ex, shamt_ex, ctrl_ex)
+
+        # branch: a == b (on the register operands)
+        diff = b.bitwise("xor2", a_ex, store_ex, name="beqx")
+        not_equal = b.reduce("or2", diff)
+        equal = b.inv(not_equal)
+        take_branch = b.and2(ctrl_ex["beq"], equal)
+        branch_target, _ = b.fast_adder(pc1_ex, simm_ex, name="btgt")
+
+        # pc-next selection: +1, branch or jump
+        seq_or_br = b.mux_bus(pc_plus1, branch_target, take_branch,
+                              name="pcbr")
+        final_pc = b.mux_bus(seq_or_br, jtgt_ex, ctrl_ex["j"], name="pcj")
+        for i in range(width):
+            b.gate("buf", [final_pc[i]], pc_next[i])
+
+        # EX/MEM pipeline registers
+        alu_mem = b.register_bus(alu_out, "alu_mem")
+        store_mem = b.register_bus(store_ex, "store_mem")
+        lw_mem = b.register_bus([ctrl_ex["lw"]], "c_lw_mem")[0]
+        sw_mem = b.register_bus([ctrl_ex["sw"]], "c_sw_mem")[0]
+        dest_mem = b.register_bus(dest_ex, "dest_mem")
+        # writeback happens for rtype/addi/lw/lui: compute in EX, pipe it
+        is_addi_ex = b.register_bus([is_addi], "c_addi_ex")[0]
+        wb_en_ex = b.or2(
+            b.or2(ctrl_ex["rtype"], is_addi_ex),
+            b.or2(ctrl_ex["lw"], ctrl_ex["lui"]),
+        )
+        wb_en_mem = b.register_bus([wb_en_ex], "c_wb_mem")[0]
+
+        # ---------------- MEM: memory interface + writeback -----------
+        b.connect_output(alu_mem, dmem_addr)
+        b.connect_output(store_mem, dmem_wdata)
+        b.gate("buf", [sw_mem], dmem_we[0])
+
+        load_or_alu = b.mux_bus(alu_mem, dmem_rdata, lw_mem, name="wbsel")
+        for i in range(width):
+            b.gate("buf", [load_or_alu[i]], wb_data[i])
+        for i in range(self.reg_bits):
+            b.gate("buf", [dest_mem[i]], wb_addr[i])
+        b.gate("buf", [wb_en_mem], wb_en)
+        return module
+
+    # ------------------------------------------------------------------
+    def _register_file(self, wb_en, wb_addr, wb_data) -> List[List[str]]:
+        """Registers x width flip-flops with write-port muxing."""
+        b = self.b
+        module = self.module
+        regs: List[List[str]] = []
+        for index in range(self.registers):
+            select = b.equals_const(wb_addr, index)
+            write_this = b.and2(wb_en, select) if index else None
+            bits: List[str] = []
+            for bit in range(self.width):
+                q = f"rf{index}[{bit}]"
+                module.ensure_net(q)
+                if index == 0:
+                    # r0 is hardwired zero: constant, no storage
+                    module.merge_nets(module.constant_net(0).name, q)
+                    bits.append(module.constant_net(0).name)
+                    continue
+                d = b.mux2(q, wb_data[bit], write_this)
+                b.dff(d, q, name=f"r_rf{index}_{bit}")
+                bits.append(q)
+            regs.append(bits)
+        return regs
+
+    def _read_port(self, regs: List[List[str]], addr: List[str],
+                   name: str) -> List[str]:
+        """Mux tree selecting one register."""
+        b = self.b
+        level: List[List[str]] = list(regs)
+        bit_index = 0
+        while len(level) > 1:
+            select = addr[bit_index] if bit_index < len(addr) else (
+                self.module.constant_net(0).name
+            )
+            next_level: List[List[str]] = []
+            for pair in range(0, len(level), 2):
+                if pair + 1 >= len(level):
+                    next_level.append(level[pair])
+                    continue
+                merged = b.mux_bus(
+                    level[pair], level[pair + 1], select,
+                    name=f"{name}_l{bit_index}_{pair}",
+                )
+                next_level.append(merged)
+            level = next_level
+            bit_index += 1
+        return level[0]
+
+    def _alu(self, a, bb, funct, shamt, ctrl) -> List[str]:
+        b = self.b
+        width = self.width
+        # add / sub share the adder: B xor sub, carry-in = sub
+        f = funct
+        # SUB and SLT both need the subtraction result
+        is_sub = b.and2(
+            ctrl["rtype"],
+            b.or2(b.equals_const(f, F_SUB), b.equals_const(f, F_SLT)),
+        )
+        b_inverted = [b.xor2(bit, is_sub) for bit in bb]
+        total, carry = b.fast_adder(
+            a, b_inverted, carry_in=is_sub, name="alu_add"
+        )
+
+        and_out = b.bitwise("and2", a, bb, name="alu_and")
+        or_out = b.bitwise("or2", a, bb, name="alu_or")
+        xor_out = b.bitwise("xor2", a, bb, name="alu_xor")
+
+        # SLT: sign of the subtraction
+        slt_out = [total[width - 1]] + [
+            self.module.constant_net(0).name
+        ] * (width - 1)
+
+        # shifter (logical left/right by shamt)
+        sll_out = self._shifter(a, shamt, left=True)
+        srl_out = self._shifter(a, shamt, left=False)
+        sra_out = self._shifter(a, shamt, left=False, arithmetic=True)
+
+        mul_out = self._multiplier(a, bb) if self.multiplier else and_out
+
+        # function select: mux cascade on funct code
+        out = total
+        for code, candidate in [
+            (F_AND, and_out), (F_OR, or_out), (F_XOR, xor_out),
+            (F_SLT, slt_out), (F_SLL, sll_out), (F_SRL, srl_out),
+            (F_SRA, sra_out), (F_MUL, mul_out),
+        ]:
+            use = b.and2(ctrl["rtype"], b.equals_const(f, code))
+            out = b.mux_bus(out, candidate, use, name=f"alusel{code}")
+        return out
+
+    def _shifter(self, a: List[str], shamt: List[str], left: bool,
+                 arithmetic: bool = False) -> List[str]:
+        b = self.b
+        zero = self.module.constant_net(0).name
+        current = list(a)
+        fill = a[-1] if arithmetic else zero
+        for stage, select in enumerate(shamt[: min(5, len(shamt))]):
+            amount = 1 << stage
+            if left:
+                shifted = [zero] * min(amount, len(current)) + current[:-amount]
+            else:
+                shifted = current[amount:] + [fill] * min(amount, len(current))
+            shifted = shifted[: len(current)]
+            current = b.mux_bus(current, shifted, select,
+                                name=f"sh{'l' if left else 'r'}{stage}")
+        return current
+
+    def _multiplier(self, a: List[str], bb: List[str]) -> List[str]:
+        """Array multiplier, carry-save rows + carry-select final add.
+
+        Each row compresses the running (sum, carry) vectors with the
+        next partial product using full adders without carry
+        propagation; only the final addition ripples (carry-select), so
+        the depth is rows + one adder instead of rows * width.
+        """
+        b = self.b
+        module = self.module
+        width = self.width
+        rows = (
+            width
+            if self.multiplier == "full" or self.multiplier is True
+            else width // 2
+        )
+        zero = module.constant_net(0).name
+        sum_v = [zero] * width
+        carry_v = [zero] * width
+        for j in range(rows):
+            partial = [zero] * j + [
+                b.and2(a[i], bb[j]) for i in range(width - j)
+            ]
+            partial = partial[:width]
+            new_sum: List[str] = []
+            new_carry = [zero]
+            for i in range(width):
+                s_net = f"mulcs{j}_s[{i}]"
+                c_net = f"mulcs{j}_c[{i}]"
+                module.ensure_net(s_net)
+                module.ensure_net(c_net)
+                module.add_instance(
+                    module.new_name(f"u_mulcsa{j}"),
+                    "FAX1",
+                    {
+                        "A": sum_v[i],
+                        "B": carry_v[i],
+                        "CI": partial[i],
+                        "S": s_net,
+                        "CO": c_net,
+                    },
+                )
+                new_sum.append(s_net)
+                if i + 1 < width:
+                    new_carry.append(c_net)
+            sum_v = new_sum
+            carry_v = new_carry
+        total, _ = b.fast_adder(sum_v, carry_v, name="mulfinal")
+        return total
+
+
+def dlx_core(
+    library: Library,
+    registers: int = 32,
+    multiplier: bool = True,
+    width: int = 32,
+) -> Module:
+    """Generate the DLX processor netlist."""
+    return _Dlx(library, registers, multiplier, width).build()
+
+
+def demo_program() -> List[int]:
+    """A small self-contained program exercising the subset ISA."""
+    return assemble([
+        ("addi", 1, 0, 5),      # r1 = 5
+        ("addi", 2, 0, 7),      # r2 = 7
+        ("add", 3, 1, 2),       # r3 = 12
+        ("sub", 4, 2, 1),       # r4 = 2
+        ("xor", 5, 3, 4),       # r5 = 14
+        ("sw", 5, 0, 0),        # dmem[0] = r5
+        ("lw", 6, 0, 0),        # r6 = dmem[0]
+        ("slt", 7, 4, 3),       # r7 = 1
+        ("beq", 7, 0, 2),       # not taken
+        ("addi", 8, 0, 1),      # r8 = 1
+        ("j", 2),               # loop back to pc=2
+    ])

@@ -1,0 +1,113 @@
+"""DLX execution environment: instruction and data memory emulation.
+
+The DLX core fetches through ``pc``/``instr`` and accesses data memory
+through the ``dmem_*`` ports, so the testbench plays both memories.
+The memory behaviour is one *respond* function -- given the item index
+and a snapshot of the core's outputs, it commits any pending store and
+returns the fetched instruction plus the load data.  The synchronous
+testbench calls it on live outputs every cycle; the desynchronized one
+calls it through :class:`repro.sim.reactive.ReactiveEnvironment`, which
+aligns output snapshots to handshake items (section 4.8: same
+testbench, clock references replaced by request/acknowledge).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.simulator import Simulator, Value
+
+
+def _bus(name: str, width: int) -> List[str]:
+    return [f"{name}[{i}]" for i in range(width)]
+
+
+def _to_bits(value: int, bits: List[str]) -> Dict[str, int]:
+    return {bit: (value >> i) & 1 for i, bit in enumerate(bits)}
+
+
+def _from_bits(snapshot: Dict[str, Value], bits: List[str]) -> Optional[int]:
+    out = 0
+    for index, bit in enumerate(bits):
+        value = snapshot.get(bit)
+        if value is None:
+            return None
+        out |= value << index
+    return out
+
+
+class DlxMemories:
+    """Instruction ROM + data RAM state for one run."""
+
+    def __init__(self, program: Sequence[int],
+                 data: Optional[Dict[int, int]] = None):
+        self.program = list(program)
+        self.data: Dict[int, int] = dict(data or {})
+        self.store_log: List[Dict[str, int]] = []
+
+    def fetch(self, pc: int) -> int:
+        if not self.program:
+            return 0
+        return self.program[pc % len(self.program)]
+
+    def load(self, address: int) -> int:
+        return self.data.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        self.data[address] = value
+        self.store_log.append({"addr": address, "value": value})
+
+
+def dlx_respond(memories: DlxMemories, width: int = 32):
+    """Build the respond(item, outputs_snapshot) -> inputs function."""
+    pc_bits = _bus("pc", width)
+    addr_bits = _bus("dmem_addr", width)
+    wdata_bits = _bus("dmem_wdata", width)
+    instr_bits = _bus("instr", 32)
+    rdata_bits = _bus("dmem_rdata", width)
+
+    def respond(_item: int, snapshot: Dict[str, Value]) -> Dict[str, int]:
+        if snapshot.get("dmem_we") == 1:
+            address = _from_bits(snapshot, addr_bits)
+            value = _from_bits(snapshot, wdata_bits)
+            if address is not None and value is not None:
+                memories.store(address, value)
+        pc = _from_bits(snapshot, pc_bits) or 0
+        address = _from_bits(snapshot, addr_bits) or 0
+        values = _to_bits(memories.fetch(pc), instr_bits)
+        values.update(_to_bits(memories.load(address), rdata_bits))
+        return values
+
+    return respond
+
+
+def dlx_sync_stimulus(simulator: Simulator, memories: DlxMemories,
+                      width: int = 32):
+    """Per-cycle stimulus for the synchronous run using live outputs."""
+    respond = dlx_respond(memories, width)
+    outputs = (
+        _bus("pc", width) + _bus("dmem_addr", width)
+        + _bus("dmem_wdata", width) + ["dmem_we"]
+    )
+
+    def stimulus(cycle: int) -> Dict[str, int]:
+        snapshot = {bit: simulator.value(bit) for bit in outputs}
+        return respond(cycle, snapshot)
+
+    return stimulus
+
+
+def dlx_environment(memories_factory: Callable[[], DlxMemories],
+                    width: int = 32):
+    """Stimulus factory for :func:`check_flow_equivalence` (sync path).
+
+    Retained for simple lockstep runs; the desynchronized run should
+    use :func:`repro.sim.flowequiv.check_flow_equivalence_reactive`.
+    """
+
+    def factory(simulator: Simulator):
+        memories = memories_factory()
+        simulator.__dict__["dlx_memories"] = memories
+        return dlx_sync_stimulus(simulator, memories, width)
+
+    return factory

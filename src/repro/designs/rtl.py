@@ -1,0 +1,275 @@
+"""Structural design builder: gate-level "RTL" construction helpers.
+
+The paper's test designs are synthesized from Verilog HDL; since no
+synthesis tool ships offline, the design generators build post-synthesis
+gate-level netlists directly with this builder -- registers, adders,
+muxes, comparators mapped straight onto library cells.  The result is
+exactly what drdesync expects: a flat, technology-mapped netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..liberty.model import Library
+from ..liberty.techmap import GateChooser
+from ..netlist.core import Module, PortDirection
+
+
+class Builder:
+    """Convenience layer for emitting gates into a module."""
+
+    def __init__(self, module: Module, library: Library, clock: str = "clk"):
+        self.module = module
+        self.library = library
+        self.chooser = GateChooser(library)
+        self.clock = clock
+        module.ensure_net(clock)
+
+    # ------------------------------------------------------------------
+    # ports and buses
+    # ------------------------------------------------------------------
+    def input_port(self, name: str, width: int = 1) -> List[str]:
+        if width == 1:
+            self.module.add_port(name, PortDirection.INPUT)
+            return [name]
+        port = self.module.add_port(
+            name, PortDirection.INPUT, msb=width - 1, lsb=0
+        )
+        return list(reversed(port.bit_names()))  # LSB first
+
+    def output_port(self, name: str, width: int = 1) -> List[str]:
+        if width == 1:
+            self.module.add_port(name, PortDirection.OUTPUT)
+            return [name]
+        port = self.module.add_port(
+            name, PortDirection.OUTPUT, msb=width - 1, lsb=0
+        )
+        return list(reversed(port.bit_names()))
+
+    def bus(self, name: str, width: int) -> List[str]:
+        """Internal bus nets named ``name[i]``, LSB first."""
+        nets = [f"{name}[{i}]" for i in range(width)]
+        for net in nets:
+            self.module.ensure_net(net)
+        return nets
+
+    def const(self, value: int, width: int) -> List[str]:
+        bits = []
+        for i in range(width):
+            bits.append(self.module.constant_net((value >> i) & 1).name)
+        return bits
+
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+    def gate(self, role: str, inputs: Sequence[str], output: Optional[str] = None,
+             name: Optional[str] = None) -> str:
+        cell, pins, out_pin = self.chooser.gate(role)
+        if output is None:
+            output = self.module.new_name("n")
+            self.module.ensure_net(output)
+        inst_name = name or self.module.new_name(f"u_{role}")
+        bindings = dict(zip(pins, inputs))
+        bindings[out_pin] = output
+        self.module.add_instance(inst_name, cell, bindings)
+        return output
+
+    def inv(self, a: str, output: Optional[str] = None) -> str:
+        return self.gate("inv", [a], output)
+
+    def and2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.gate("and2", [a, b], output)
+
+    def or2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.gate("or2", [a, b], output)
+
+    def xor2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.gate("xor2", [a, b], output)
+
+    def nand2(self, a: str, b: str, output: Optional[str] = None) -> str:
+        return self.gate("nand2", [a, b], output)
+
+    def mux2(self, a: str, b: str, sel: str, output: Optional[str] = None) -> str:
+        """2:1 mux: ``sel ? b : a``."""
+        return self.gate("mux2", [a, b, sel], output)
+
+    # ------------------------------------------------------------------
+    # word-level operators (LSB-first bit lists)
+    # ------------------------------------------------------------------
+    def mux_bus(
+        self, a: Sequence[str], b: Sequence[str], sel: str,
+        name: Optional[str] = None,
+    ) -> List[str]:
+        prefix = name or self.module.new_name("mx")
+        return [
+            self.mux2(bit_a, bit_b, sel, f"{prefix}[{i}]")
+            for i, (bit_a, bit_b) in enumerate(zip(a, b))
+        ]
+
+    def invert_bus(self, a: Sequence[str], name: Optional[str] = None) -> List[str]:
+        prefix = name or self.module.new_name("nb")
+        return [self.inv(bit, f"{prefix}[{i}]") for i, bit in enumerate(a)]
+
+    def bitwise(
+        self, role: str, a: Sequence[str], b: Sequence[str],
+        name: Optional[str] = None,
+    ) -> List[str]:
+        prefix = name or self.module.new_name("bw")
+        return [
+            self.gate(role, [bit_a, bit_b], f"{prefix}[{i}]")
+            for i, (bit_a, bit_b) in enumerate(zip(a, b))
+        ]
+
+    def adder(
+        self,
+        a: Sequence[str],
+        b: Sequence[str],
+        carry_in: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Tuple[List[str], str]:
+        """Ripple-carry adder from FA cells; returns (sum bits, carry out)."""
+        prefix = name or self.module.new_name("add")
+        carry = carry_in or self.module.constant_net(0).name
+        sums: List[str] = []
+        for i, (bit_a, bit_b) in enumerate(zip(a, b)):
+            sum_net = f"{prefix}_s[{i}]"
+            carry_net = f"{prefix}_c[{i}]"
+            self.module.ensure_net(sum_net)
+            self.module.ensure_net(carry_net)
+            self.module.add_instance(
+                self.module.new_name(f"u_{prefix}_fa"),
+                "FAX1",
+                {"A": bit_a, "B": bit_b, "CI": carry, "S": sum_net,
+                 "CO": carry_net},
+            )
+            sums.append(sum_net)
+            carry = carry_net
+        return sums, carry
+
+    def fast_adder(
+        self,
+        a: Sequence[str],
+        b: Sequence[str],
+        carry_in: Optional[str] = None,
+        name: Optional[str] = None,
+        block: int = 4,
+    ) -> Tuple[List[str], str]:
+        """Carry-select adder: ripple blocks computed for both carries.
+
+        Depth is one block of full adders plus a mux per block instead
+        of the full ripple chain -- the flavour of adder a synthesis
+        tool would map for the DLX's ALU.
+        """
+        prefix = name or self.module.new_name("csa")
+        carry = carry_in or self.module.constant_net(0).name
+        zero = self.module.constant_net(0).name
+        one = self.module.constant_net(1).name
+        sums: List[str] = []
+        width = len(a)
+        for start in range(0, width, block):
+            stop = min(start + block, width)
+            a_blk = list(a[start:stop])
+            b_blk = list(b[start:stop])
+            if start == 0:
+                blk_sums, carry = self.adder(
+                    a_blk, b_blk, carry_in=carry, name=f"{prefix}_b0"
+                )
+                sums.extend(blk_sums)
+                continue
+            sums0, cout0 = self.adder(
+                a_blk, b_blk, carry_in=zero, name=f"{prefix}_b{start}_0"
+            )
+            sums1, cout1 = self.adder(
+                a_blk, b_blk, carry_in=one, name=f"{prefix}_b{start}_1"
+            )
+            sums.extend(
+                self.mux_bus(sums0, sums1, carry, name=f"{prefix}_s{start}")
+            )
+            carry = self.mux2(cout0, cout1, carry)
+        return sums, carry
+
+    def incrementer(
+        self, a: Sequence[str], name: Optional[str] = None
+    ) -> List[str]:
+        """a + 1 from half adders."""
+        prefix = name or self.module.new_name("inc")
+        carry = self.module.constant_net(1).name
+        sums: List[str] = []
+        for i, bit in enumerate(a):
+            sum_net = f"{prefix}_s[{i}]"
+            carry_net = f"{prefix}_c[{i}]"
+            self.module.ensure_net(sum_net)
+            self.module.ensure_net(carry_net)
+            self.module.add_instance(
+                self.module.new_name(f"u_{prefix}_ha"),
+                "HAX1",
+                {"A": bit, "B": carry, "S": sum_net, "CO": carry_net},
+            )
+            sums.append(sum_net)
+            carry = carry_net
+        return sums
+
+    def equals_const(
+        self, a: Sequence[str], value: int, name: Optional[str] = None
+    ) -> str:
+        """Single-bit comparator a == value."""
+        literals = []
+        for i, bit in enumerate(a):
+            if (value >> i) & 1:
+                literals.append(bit)
+            else:
+                literals.append(self.inv(bit))
+        out = literals[0]
+        for other in literals[1:]:
+            out = self.and2(out, other)
+        return out
+
+    def reduce(self, role: str, bits: Sequence[str]) -> str:
+        out = bits[0]
+        for bit in bits[1:]:
+            out = self.gate(role, [out, bit])
+        return out
+
+    # ------------------------------------------------------------------
+    # registers
+    # ------------------------------------------------------------------
+    def dff(
+        self,
+        d: str,
+        q: Optional[str] = None,
+        cell: str = "DFFX1",
+        name: Optional[str] = None,
+        extra: Optional[Dict[str, str]] = None,
+    ) -> str:
+        if q is None:
+            q = self.module.new_name("q")
+            self.module.ensure_net(q)
+        bindings = {"D": d, "CK": self.clock, "Q": q}
+        if extra:
+            bindings.update(extra)
+        self.module.add_instance(
+            name or self.module.new_name("r"), cell, bindings
+        )
+        return q
+
+    def register_bus(
+        self,
+        d: Sequence[str],
+        name: str,
+        cell: str = "DFFX1",
+        extra: Optional[Dict[str, str]] = None,
+    ) -> List[str]:
+        outs = []
+        for i, bit in enumerate(d):
+            q = f"{name}[{i}]"
+            self.module.ensure_net(q)
+            outs.append(
+                self.dff(bit, q, cell=cell, name=f"r_{name}_{i}", extra=extra)
+            )
+        return outs
+
+    def connect_output(self, bits: Sequence[str], port_bits: Sequence[str]) -> None:
+        """Drive output port bits through buffers (keeps nets distinct)."""
+        for src, dst in zip(bits, port_bits):
+            self.gate("buf", [src], dst)

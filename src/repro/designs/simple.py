@@ -1,0 +1,162 @@
+"""Small test designs: the Figure 2.2 sample, counters, pipelines.
+
+These are the unit-test-scale workloads of the repository; the DLX and
+ARM-class generators live in their own modules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..liberty.model import Library
+from ..netlist.core import Module, PortDirection
+from .rtl import Builder
+
+
+def figure22_circuit(library: Library, width: int = 4) -> Module:
+    """The five-region sample circuit of Figure 2.2.
+
+    Regions (clouds CL1..CL5 with register groups G1..G5):
+    CL1 -> G1 feeds CL2 -> G2 and CL3 -> G3; G2 feeds CL4 -> G4;
+    G3 and G4 feed CL5 -> G5, which drives the primary output.
+    """
+    module = Module("figure22")
+    b = Builder(module, library)
+    din = b.input_port("din", width)
+    module.add_port("clk", PortDirection.INPUT)
+    dout = b.output_port("dout", width)
+
+    # CL1: input incrementer -> G1
+    cl1 = b.incrementer(din, name="cl1")
+    g1 = b.register_bus(cl1, "g1")
+
+    # CL2: invert -> G2
+    cl2 = b.invert_bus(g1, name="cl2")
+    g2 = b.register_bus(cl2, "g2")
+
+    # CL3: xor with rotated self -> G3
+    rotated = g1[1:] + g1[:1]
+    cl3 = b.bitwise("xor2", g1, rotated, name="cl3")
+    g3 = b.register_bus(cl3, "g3")
+
+    # CL4: add constant -> G4
+    cl4, _ = b.adder(g2, b.const(3, width), name="cl4")
+    g4 = b.register_bus(cl4, "g4")
+
+    # CL5: and of G3/G4 -> G5
+    cl5 = b.bitwise("and2", g3, g4, name="cl5")
+    g5 = b.register_bus(cl5, "g5")
+
+    b.connect_output(g5, dout)
+    return module
+
+
+def counter(library: Library, width: int = 8, name: str = "counter") -> Module:
+    """Free-running counter: one self-looped region (plus output buffers)."""
+    module = Module(name)
+    b = Builder(module, library)
+    module.add_port("clk", PortDirection.INPUT)
+    dout = b.output_port("count", width)
+    state = [f"state[{i}]" for i in range(width)]
+    for net in state:
+        module.ensure_net(net)
+    nxt = b.incrementer(state, name="inc")
+    for i in range(width):
+        b.dff(nxt[i], state[i], name=f"r_state_{i}")
+    b.connect_output(state, dout)
+    return module
+
+
+def pipeline3(library: Library, width: int = 8) -> Module:
+    """Three-stage linear pipeline: +1, xor mask, +input echo."""
+    module = Module("pipeline3")
+    b = Builder(module, library)
+    module.add_port("clk", PortDirection.INPUT)
+    din = b.input_port("din", width)
+    dout = b.output_port("dout", width)
+
+    stage_a = b.register_bus(din, "sa")
+    cl1 = b.incrementer(stage_a, name="cl1")
+    stage_b = b.register_bus(cl1, "sb")
+    mask = b.const(0x5A & ((1 << width) - 1), width)
+    cl2 = b.bitwise("xor2", stage_b, mask, name="cl2")
+    stage_c = b.register_bus(cl2, "sc")
+    b.connect_output(stage_c, dout)
+    return module
+
+
+def shift_register(library: Library, depth: int = 4) -> Module:
+    """FF-to-FF chain exercising the step-2 grouping heuristic."""
+    module = Module("shiftreg")
+    b = Builder(module, library)
+    module.add_port("clk", PortDirection.INPUT)
+    din = b.input_port("sin")[0]
+    dout = b.output_port("sout")[0]
+    # a tiny cloud in front so step 1 creates one group
+    front = b.inv(b.inv(din))
+    stage = b.dff(front, name="r_s0")
+    for i in range(1, depth):
+        stage = b.dff(stage, name=f"r_s{i}")
+    b.gate("buf", [stage], dout)
+    return module
+
+
+def scan_pipeline(library: Library, width: int = 4) -> Module:
+    """Pipeline built from scan flip-flops with a stitched chain."""
+    module = Module("scanpipe")
+    b = Builder(module, library)
+    module.add_port("clk", PortDirection.INPUT)
+    din = b.input_port("din", width)
+    dout = b.output_port("dout", width)
+    scan_in = b.input_port("scan_in")[0]
+    scan_en = b.input_port("scan_en")[0]
+    b.output_port("scan_out")
+
+    chain = scan_in
+    stage_a = []
+    for i, bit in enumerate(din):
+        q = f"sa[{i}]"
+        module.ensure_net(q)
+        b.dff(
+            bit, q, cell="SDFFX1", name=f"r_sa_{i}",
+            extra={"SI": chain, "SE": scan_en},
+        )
+        chain = q
+        stage_a.append(q)
+    cl = b.incrementer(stage_a, name="cl")
+    stage_b = []
+    for i, bit in enumerate(cl):
+        q = f"sb[{i}]"
+        module.ensure_net(q)
+        b.dff(
+            bit, q, cell="SDFFX1", name=f"r_sb_{i}",
+            extra={"SI": chain, "SE": scan_en},
+        )
+        chain = q
+        stage_b.append(q)
+    b.connect_output(stage_b, dout)
+    b.gate("buf", [chain], "scan_out")
+    return module
+
+
+def gated_counter(library: Library, width: int = 4) -> Module:
+    """Counter behind an integrated clock gate (Figure 3.1 d case)."""
+    module = Module("gatedcounter")
+    b = Builder(module, library)
+    module.add_port("clk", PortDirection.INPUT)
+    enable = b.input_port("en")[0]
+    dout = b.output_port("count", width)
+    module.ensure_net("gck")
+    module.add_instance(
+        "u_icg", "CKGATEX1", {"EN": enable, "CK": "clk", "GCK": "gck"}
+    )
+    state = [f"state[{i}]" for i in range(width)]
+    for net in state:
+        module.ensure_net(net)
+    nxt = b.incrementer(state, name="inc")
+    for i in range(width):
+        module.add_instance(
+            f"r_state_{i}", "DFFX1", {"D": nxt[i], "CK": "gck", "Q": state[i]}
+        )
+    b.connect_output(state, dout)
+    return module

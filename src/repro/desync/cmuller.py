@@ -1,0 +1,109 @@
+"""C-Muller (rendezvous) element construction (sections 2.4.3 / 3.1.5).
+
+A C-element waits for *all* inputs high before raising its output and
+all inputs low before lowering it (Table 2.1).  The paper synthesises
+multi-input C-elements (2 to 10 inputs) from Verilog HDL with a
+conventional synthesis tool; here we do the equivalent mapping onto
+standard cells directly:
+
+    y = AND(inputs) + y * OR(inputs)
+      = MAJ3( AND(inputs), OR(inputs), y )      [since AND implies OR]
+
+so every C-element is an AND tree + OR tree + one MAJ3 gate closed in
+feedback.  The 2-input case degenerates to a single MAJ3 (the textbook
+C-element).  A reset input forces the output low through an ANDN2 on
+the feedback/output path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..liberty.techmap import GateChooser
+from ..netlist.core import Module
+
+
+class CMullerError(Exception):
+    """Raised for invalid C-element requests."""
+
+
+def build_cmuller(
+    module: Module,
+    inputs: Sequence[str],
+    output: str,
+    chooser: GateChooser,
+    prefix: str = "cm",
+    reset: Optional[str] = None,
+    attributes: Optional[Dict[str, object]] = None,
+) -> List[str]:
+    """Instantiate an n-input C-element; returns created instance names.
+
+    ``inputs`` are existing net names, ``output`` the (created) output
+    net.  With ``reset`` given, the output is forced low while the
+    reset net is high.  ``attributes`` are stamped on every created
+    instance (role/region bookkeeping for constraints and reports).
+    """
+    if len(inputs) < 2:
+        raise CMullerError("a C-element needs at least two inputs")
+    if len(set(inputs)) != len(inputs):
+        raise CMullerError(f"duplicate C-element inputs: {inputs}")
+    module.ensure_net(output)
+    created: List[str] = []
+    attrs = dict(attributes or {})
+    attrs.setdefault("role", "cmuller")
+
+    def emit(role: str, pin_nets: Dict[str, str]) -> str:
+        cell, pins, out_pin = chooser.gate(role)
+        inst_name = module.new_name(f"{prefix}_{role}")
+        inst = module.add_instance(inst_name, cell, pin_nets)
+        inst.attributes.update(attrs)
+        created.append(inst_name)
+        return inst_name
+
+    def tree(role: str, nets: List[str]) -> str:
+        """Reduce nets with 2-input gates; returns the final net."""
+        nets = list(nets)
+        while len(nets) > 1:
+            a = nets.pop(0)
+            b = nets.pop(0)
+            out_net = module.new_name(f"{prefix}_n")
+            module.ensure_net(out_net)
+            cell, pins, out_pin = chooser.gate(role)
+            bindings = {pins[0]: a, pins[1]: b, out_pin: out_net}
+            emit(role, bindings)
+            nets.append(out_net)
+        return nets[0]
+
+    # with reset, the MAJ3 drives a raw net and the reset gate produces
+    # the output; the feedback is taken from the *gated* output so a
+    # reset pulse truly empties the element
+    if reset is None:
+        raw = output
+    else:
+        raw = module.new_name(f"{prefix}_raw")
+        module.ensure_net(raw)
+
+    if len(inputs) == 2:
+        first, second = inputs[0], inputs[1]
+    else:
+        first = tree("and2", list(inputs))
+        second = tree("or2", list(inputs))
+    cell, pins, out_pin = chooser.gate("maj3")
+    emit(
+        "maj3",
+        {pins[0]: first, pins[1]: second, pins[2]: output, out_pin: raw},
+    )
+
+    if reset is not None:
+        cell, pins, out_pin = chooser.gate("andn2")
+        emit("andn2", {pins[0]: raw, pins[1]: reset, out_pin: output})
+    return created
+
+
+def cmuller_truth_table() -> List[Dict[str, object]]:
+    """Table 2.1 of the paper, as data (used by tests and the bench)."""
+    return [
+        {"inputs": "all 0's", "output": 0},
+        {"inputs": "all 1's", "output": 1},
+        {"inputs": "other", "output": "unchanged"},
+    ]

@@ -1,0 +1,127 @@
+"""Backend timing-constraint generation (sections 4.5, 4.6).
+
+The desynchronized netlist ships with an SDC file that makes it look
+synchronous to the backend (Figure 4.3):
+
+- the original clock is replaced by two virtual clocks, ``ClkM`` and
+  ``ClkS``, sourced at the master/slave controller latch-enable output
+  pins with the waveform relationship of Figure 4.2 (the master falling
+  edge and slave rising edge coincide with the original rising edge);
+- every controller gate is ``size_only`` and every delay-element cell
+  ``dont_touch`` so optimization can resize/buffer but never
+  re-synthesize hazard-free logic (section 4.6.2);
+- the timing loops through the controller network are broken with
+  ``set_disable_timing`` at hand-chosen pins (Figure 4.5): controller
+  cell arcs and the C-Muller feedback inputs;
+- the request segments that remain (controller output, through C-join
+  and delay element, to the next controller's RI pin) get min/max
+  path-delay constraints so timing-driven P&R keeps the matched delays
+  honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..netlist.core import Module
+from ..sta.sdc import (
+    CreateClock,
+    PathDelay,
+    SdcFile,
+    SetDisableTiming,
+    SetDontTouch,
+    SetSizeOnly,
+)
+from .network import ControlNetwork
+
+
+def generate_constraints(
+    module: Module,
+    network: ControlNetwork,
+    clock_period: float,
+    delay_margin: float = 0.10,
+) -> SdcFile:
+    """Build the full SDC for the desynchronized design."""
+    sdc = SdcFile()
+
+    master_pins = [
+        f"{ctrl.name}/G"
+        for (region, role), ctrl in sorted(network.controllers.items())
+        if role == "master"
+    ]
+    slave_pins = [
+        f"{ctrl.name}/G"
+        for (region, role), ctrl in sorted(network.controllers.items())
+        if role == "slave"
+    ]
+    # Figure 4.2: period preserved; master high for the second part of
+    # the cycle, slave pulse straddling the original rising edge
+    period = clock_period
+    sdc.add(
+        CreateClock(
+            "ClkM",
+            period,
+            (period * 5.0 / 12.0, period),
+            master_pins,
+            "pins",
+        )
+    )
+    sdc.add(
+        CreateClock(
+            "ClkS",
+            period,
+            (period, period * 7.0 / 6.0),
+            slave_pins,
+            "pins",
+        )
+    )
+
+    controller_cells = sorted(network.controller_instances())
+    if controller_cells:
+        sdc.add(SetSizeOnly(controller_cells))
+    delay_cells = sorted(network.delay_instances())
+    if delay_cells:
+        sdc.add(SetDontTouch(delay_cells))
+    if network.cmuller_instances:
+        sdc.add(SetSizeOnly(sorted(set(network.cmuller_instances))))
+
+    # loop breaking (Figure 4.5): cut all arcs through the controllers
+    # and the C-element feedback inputs
+    for name in controller_cells:
+        sdc.add(SetDisableTiming(name))
+    for name in sorted(set(network.cmuller_instances)):
+        inst = module.instances.get(name)
+        if inst is None:
+            continue
+        if "maj3" in name or inst.cell.startswith("MAJ3"):
+            sdc.add(SetDisableTiming(name, from_pin="C", to_pin="Z"))
+
+    # min/max constraints on the surviving request segments
+    for region, element in sorted(network.delay_elements.items()):
+        master = network.controllers.get((region, "master"))
+        if master is None:
+            continue
+        target = network.region_delays.get(region, 0.0)
+        if target <= 0:
+            continue
+        source_pin = f"{element.instances[0]}/A"
+        target_pin = f"{master.name}/RI"
+        sdc.add(PathDelay("min", target, source_pin, target_pin))
+        sdc.add(
+            PathDelay(
+                "max", target * (1.0 + 2.0 * delay_margin), source_pin, target_pin
+            )
+        )
+    return sdc
+
+
+def disables_for_sta(network: ControlNetwork, module: Module):
+    """Disable tuples for repro.sta: controller cells + C feedback pins."""
+    out = []
+    for name in network.controller_instances():
+        out.append((name, None, None))
+    for name in set(network.cmuller_instances):
+        inst = module.instances.get(name)
+        if inst is not None and inst.cell.startswith("MAJ3"):
+            out.append((name, "C", "Z"))
+    return out

@@ -1,0 +1,289 @@
+"""Latch controllers (sections 2.2, 3.1.3).
+
+The controller is the handshake circuit of Figure 2.3: inputs ``ri``
+(request in) and ``ao`` (acknowledge from the successor), outputs ``ai``
+(acknowledge to the predecessor), ``ro`` (request out) and ``g`` (the
+latch enable), plus ``rst``.
+
+The implementation is the classic two-C-element decoupled latch
+controller -- three hazard-free complex gates, matching the paper's
+measured "3 complex gates control overhead" (section 5.2.2)::
+
+    x  = C(ri, !y)         # admit a new datum
+    y  = C(x, !ack)        # 4-phase pacing towards the neighbours
+    xd = delay(x)          # two buffers
+    g  = x * !xd [+ rst]   # fixed-width transparency pulse on x+
+
+with the request seen by ``ri`` being the previous stage's ``y``.  The
+acknowledge differs per role: the master's ``ack`` is its slave's *y*
+(the master may only re-admit once the slave captured), the slave's
+``ack`` is the join of its successor masters' *x* elements.  This
+decoupling is what makes single-region self-loops (the two-latch ring
+of Figure 2.5) live: each master/slave pair contributes four C-element
+state variables to the control ring.
+
+The latch enable is a *pulse*: it opens at ``x+`` and closes a fixed
+two-buffer delay later, capturing the datum whose validity the delayed
+request guarantees.  A level enable gated by the y element would dwell
+open under backpressure and let an early upstream datum race through;
+the bounded pulse turns that into a one-sided timing margin -- the
+same "hold constraints are automatically satisfied since we have a
+latch design and sufficiently wide pulses" argument the paper makes
+(section 4.5.1).
+
+Reset models the synchronous clock-low state: the *master x* elements
+reset high and the master pulse gate ORs in ``rst``, so the masters
+are transparent during reset (tracking the reset-state cloud outputs)
+and capture them -- the first synchronous cycle -- exactly at the
+falling edge of reset.  Everything else resets low.
+
+The C-elements are registered into the technology library as dedicated
+complex-gate cells (the paper's by-hand mapping "without decomposing
+the gates"), one reset-low and one set-high flavour, both with the B
+input inverted:
+
+    CBRX1:   Z = !RST * (A*!B + Z*(A + !B))
+    CBSX1:   Z =  RST + (A*!B + Z*(A + !B))
+    CTRLGX1: Z = (A * !B) + C        (the master pulse gate)
+
+Their hazard-freedom under speed independence follows from atomic
+evaluation; the closed-loop behaviour is verified by simulation in the
+test suite and by the flow-equivalence experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..liberty.model import Library, LibraryCell, LibraryPin, TimingArc
+from ..netlist.core import Module, PortDirection
+from ..stg.petri import Stg
+
+#: complex-gate cells placed per controller
+C_RESET_CELL = "CBRX1"
+C_SET_CELL = "CBSX1"
+PULSE_GATE_CELL = "CTRLGX1"
+
+#: complex-gate delays a request spends inside one controller (the paper
+#: measures ~3 complex gates of control overhead per stage, section 5.2.2)
+CONTROL_OVERHEAD_GATES = 3
+
+
+def controller_stg() -> Stg:
+    """STG of the decoupled controller (documentation + analysis aid).
+
+    ``ack`` abstracts the next stage's ``x`` element; ``ri`` is the
+    previous stage's ``y``.  The initial state is the generic (non
+    reset-token) one: both elements low, environment ready.
+    """
+    stg = Stg(inputs=["ri", "ack"], outputs=["x", "y"])
+    stg.arc("ri+", "x+")
+    stg.arc("y-", "x+", marked=True)
+    stg.arc("x+", "y+")
+    stg.arc("ack-", "y+", marked=True)
+    stg.arc("ri-", "x-")
+    stg.arc("y+", "x-")
+    stg.arc("x-", "y-")
+    stg.arc("ack+", "y-")
+    # environment: predecessor reacts to x (admission), successor to y
+    stg.arc("x+", "ri-")
+    stg.arc("x-", "ri+", marked=True)
+    stg.arc("y+", "ack+")
+    stg.arc("y-", "ack-")
+    return stg
+
+
+def _c_element_cell(library: Library, name: str, set_high: bool) -> LibraryCell:
+    """Build one C-element complex gate (B input inverted)."""
+    core = "(A * !B) + (Z * A) + (Z * !B)"
+    if set_high:
+        function = f"RST + ({core})"
+    else:
+        function = f"!RST * ({core})"
+    template = library.cell("AOI21X1")
+    base_arc = template.delay_arcs()[0]
+    cell = LibraryCell(
+        name=name,
+        area=template.area * 1.5,
+        leakage=template.leakage * 1.5,
+        switch_energy=template.switch_energy * 1.5,
+        dont_touch=True,
+    )
+    for pin_name in ("A", "B", "RST"):
+        cell.pins[pin_name] = LibraryPin(
+            pin_name,
+            PortDirection.INPUT,
+            capacitance=template.pins["A"].capacitance,
+        )
+    cell.pins["Z"] = LibraryPin(
+        "Z", PortDirection.OUTPUT, function=function, max_capacitance=0.12
+    )
+    for pin_name in ("A", "B", "RST"):
+        cell.arcs.append(
+            TimingArc(
+                related_pin=pin_name,
+                pin="Z",
+                timing_type="combinational",
+                intrinsic_rise=base_arc.intrinsic_rise * 1.4,
+                intrinsic_fall=base_arc.intrinsic_fall * 1.4,
+                rise_resistance=base_arc.rise_resistance,
+                fall_resistance=base_arc.fall_resistance,
+            )
+        )
+    return cell
+
+
+def _pulse_gate_cell(library: Library) -> LibraryCell:
+    """The master enable gate: Z = (A * !B) + C (C is the reset term)."""
+    template = library.cell("AOI21X1")
+    base_arc = template.delay_arcs()[0]
+    cell = LibraryCell(
+        name=PULSE_GATE_CELL,
+        area=template.area * 1.2,
+        leakage=template.leakage * 1.2,
+        switch_energy=template.switch_energy * 1.2,
+        dont_touch=True,
+    )
+    for pin_name in ("A", "B", "C"):
+        cell.pins[pin_name] = LibraryPin(
+            pin_name,
+            PortDirection.INPUT,
+            capacitance=template.pins["A"].capacitance,
+        )
+    cell.pins["Z"] = LibraryPin(
+        "Z",
+        PortDirection.OUTPUT,
+        function="(A * !B) + C",
+        max_capacitance=0.12,
+    )
+    for pin_name in ("A", "B", "C"):
+        cell.arcs.append(
+            TimingArc(
+                related_pin=pin_name,
+                pin="Z",
+                timing_type="combinational",
+                intrinsic_rise=base_arc.intrinsic_rise,
+                intrinsic_fall=base_arc.intrinsic_fall,
+                rise_resistance=base_arc.rise_resistance,
+                fall_resistance=base_arc.fall_resistance,
+            )
+        )
+    return cell
+
+
+def ensure_controller_cells(library: Library) -> None:
+    """Register the controller complex gates (idempotent)."""
+    if C_RESET_CELL not in library:
+        library.add_cell(_c_element_cell(library, C_RESET_CELL, set_high=False))
+    if C_SET_CELL not in library:
+        library.add_cell(_c_element_cell(library, C_SET_CELL, set_high=True))
+    if PULSE_GATE_CELL not in library:
+        library.add_cell(_pulse_gate_cell(library))
+
+
+#: backwards-compatible alias used by the tool driver
+ensure_controller_cell = ensure_controller_cells
+
+
+@dataclass
+class ControllerInstance:
+    """Bookkeeping for one placed latch controller (3 gates)."""
+
+    name: str  # base name; gates are <name>_x, <name>_y, <name>_g
+    region: str
+    role: str  # "master" | "slave"
+    ri_net: str
+    ao_net: str
+    g_net: str
+    x_net: str
+    y_net: str
+
+    @property
+    def ai_net(self) -> str:
+        """Acknowledge to the predecessor (= x, the admission element)."""
+        return self.x_net
+
+    @property
+    def ro_net(self) -> str:
+        """Request to the successor (= y)."""
+        return self.y_net
+
+    @property
+    def gate_names(self) -> List[str]:
+        return [
+            f"{self.name}_x",
+            f"{self.name}_y",
+            f"{self.name}_d0",
+            f"{self.name}_d1",
+            f"{self.name}_g",
+        ]
+
+
+def place_controller(
+    module: Module,
+    library: Library,
+    region: str,
+    role: str,
+    ri_net: str,
+    ao_net: str,
+    g_net: str,
+    rst_net: str,
+    x_net: Optional[str] = None,
+    y_net: Optional[str] = None,
+) -> ControllerInstance:
+    """Instantiate one latch controller (x, y C-elements + enable AND).
+
+    The master controller's ``x`` element is the set-high flavour: at
+    reset the masters are transparent (synchronous clock-low state)
+    with the reset-state cloud outputs flowing through them.
+    """
+    ensure_controller_cells(library)
+    base = module.new_name(f"ctrl_{region}_{role}")
+    x_net = x_net or f"{base}_xn"
+    y_net = y_net or f"{base}_yn"
+    for net in (x_net, y_net, g_net, ri_net, ao_net):
+        module.ensure_net(net)
+
+    x_cell = C_SET_CELL if role == "master" else C_RESET_CELL
+    attrs = {
+        "role": f"controller_{role}",
+        "region": region,
+        "size_only": True,
+    }
+    gate_x = module.add_instance(
+        f"{base}_x",
+        x_cell,
+        {"A": ri_net, "B": y_net, "RST": rst_net, "Z": x_net},
+    )
+    gate_y = module.add_instance(
+        f"{base}_y",
+        C_RESET_CELL,
+        {"A": x_net, "B": ao_net, "RST": rst_net, "Z": y_net},
+    )
+    # the pulse-shaping delay chain and the enable gate
+    xd0 = f"{base}_xd0"
+    xd1 = f"{base}_xd1"
+    module.ensure_net(xd0)
+    module.ensure_net(xd1)
+    gate_d0 = module.add_instance(
+        f"{base}_d0", "BUFX1", {"A": x_net, "Z": xd0}
+    )
+    gate_d1 = module.add_instance(
+        f"{base}_d1", "BUFX1", {"A": xd0, "Z": xd1}
+    )
+    if role == "master":
+        gate_g = module.add_instance(
+            f"{base}_g",
+            PULSE_GATE_CELL,
+            {"A": x_net, "B": xd1, "C": rst_net, "Z": g_net},
+        )
+    else:
+        gate_g = module.add_instance(
+            f"{base}_g", "ANDN2X1", {"A": x_net, "B": xd1, "Z": g_net}
+        )
+    for gate in (gate_x, gate_y, gate_d0, gate_d1, gate_g):
+        gate.attributes.update(attrs)
+    return ControllerInstance(
+        base, region, role, ri_net, ao_net, g_net, x_net, y_net
+    )

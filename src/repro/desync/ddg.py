@@ -1,0 +1,120 @@
+"""Data dependency graph construction (sections 2.4.1, 3.2.4).
+
+Nodes are circuit regions; a directed edge ``p -> q`` exists when a
+path leaves a sequential output of region ``p`` and reaches an input of
+region ``q`` -- i.e. some net driven by ``p``'s latches/flip-flops (or
+by ``p``'s combinational cells) is consumed inside ``q``.  Because
+regions are combinationally independent, it suffices to look at nets
+whose driver and reader belong to different regions, plus self-edges
+for regions feeding themselves (state machines, counters).
+
+Primary inputs are attributed to the special environment node ``ENV``
+so the controller network knows which regions need an external request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..liberty.gatefile import Gatefile
+from ..netlist.core import Module, PortDirection
+from .regions import RegionMap
+
+#: pseudo-node for the environment (primary inputs / outputs)
+ENV = "ENV"
+
+
+def build_ddg(
+    module: Module,
+    gatefile: Gatefile,
+    region_map: RegionMap,
+    false_path_nets: Tuple[str, ...] = (),
+    env_instances: Optional[Set[str]] = None,
+) -> "nx.DiGraph":
+    """Build the region data-dependency graph as a networkx DiGraph.
+
+    ``env_instances`` are sequential elements whose outputs count as
+    environment data (foreign clock domains in a partial conversion).
+    """
+    env_instances = env_instances or set()
+    graph = nx.DiGraph()
+    for name in region_map.regions:
+        graph.add_node(name)
+    graph.add_node(ENV)
+    ignored = set(false_path_nets)
+
+    port_bits_in = set(module.port_bits(PortDirection.INPUT))
+    port_bits_out = set(module.port_bits(PortDirection.OUTPUT))
+
+    for net_name, net in module.nets.items():
+        if net.is_constant or net_name in ignored:
+            continue
+        driver_regions: Set[str] = set()
+        reader_regions: Set[str] = set()
+        sequential_driver = False
+        for ref in net.connections:
+            if ref.instance is None:
+                if ref.pin in port_bits_in:
+                    driver_regions.add(ENV)
+                elif ref.pin in port_bits_out:
+                    reader_regions.add(ENV)
+                continue
+            inst = module.instances[ref.instance]
+            info = gatefile.cells.get(inst.cell)
+            if info is None:
+                continue
+            pin = info.pins.get(ref.pin)
+            if pin is None or pin.is_clock:
+                continue
+            if (
+                ref.instance in env_instances
+                and pin.direction == PortDirection.OUTPUT
+            ):
+                driver_regions.add(ENV)
+                continue
+            region = region_map.region_of(ref.instance)
+            if region is None:
+                continue
+            if pin.direction == PortDirection.OUTPUT:
+                if inst.attributes.get("role") == "latch_master":
+                    # master->slave plumbing inside one flip-flop is not
+                    # a data dependency between regions
+                    continue
+                driver_regions.add(region)
+                if info.is_sequential:
+                    sequential_driver = True
+            elif pin.direction == PortDirection.INPUT:
+                reader_regions.add(region)
+        for source in driver_regions:
+            for target in reader_regions:
+                if source == target and source == ENV:
+                    continue
+                if source == target and not sequential_driver:
+                    # intra-region combinational net: not a dependency
+                    continue
+                if source != target or sequential_driver:
+                    graph.add_edge(source, target)
+    return graph
+
+
+def predecessors_of(graph: "nx.DiGraph", region: str) -> List[str]:
+    """Region predecessors (sorted, ENV last for determinism)."""
+    preds = sorted(p for p in graph.predecessors(region) if p != ENV)
+    if graph.has_edge(ENV, region):
+        preds.append(ENV)
+    return preds
+
+
+def successors_of(graph: "nx.DiGraph", region: str) -> List[str]:
+    succs = sorted(s for s in graph.successors(region) if s != ENV)
+    if graph.has_edge(region, ENV):
+        succs.append(ENV)
+    return succs
+
+
+def fanin_fanout(graph: "nx.DiGraph", region: str) -> Tuple[int, int]:
+    """Counts used to pick the controller flavour (section 3.2.6)."""
+    return len(predecessors_of(graph, region)), len(successors_of(graph, region))

@@ -1,0 +1,290 @@
+"""Automatic region creation -- the grouping algorithm (section 3.2.2).
+
+A *region* is a combinational logic cloud together with the flip-flops
+it drives (Figure 2.2).  Regions must be independent: no combinational
+connection may cross a region boundary.  The algorithm of Figures
+3.3/3.4 finds them as connected components of the gate-connection
+graph:
+
+1. every connected component of combinational gates becomes a group,
+   pulling in the sequential elements it drives and the combinational
+   sources feeding those elements;
+2. ungrouped flip-flops directly driven by grouped flip-flops join the
+   driver's group (shift-register heuristic);
+3. everything still ungrouped (e.g. flip-flops registering primary
+   inputs) lands in the extra Group 0.
+
+Heuristics from the paper: connections through clock pins, constants
+and designer-marked *false paths* are ignored, and cells driving bits
+of one named bus are merged (Figure 3.6) -- which only works while the
+synthesis tool has kept ``bus[n]`` names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..liberty.gatefile import Gatefile
+from ..netlist.core import Module, PortDirection, bus_base
+
+
+@dataclass
+class Region:
+    """One desynchronization region."""
+
+    name: str
+    instances: Set[str] = field(default_factory=set)
+
+    def sequential_instances(self, module: Module, gatefile: Gatefile) -> List[str]:
+        return [
+            name
+            for name in sorted(self.instances)
+            if gatefile.info(module.instances[name].cell).is_sequential
+        ]
+
+    def combinational_instances(
+        self, module: Module, gatefile: Gatefile
+    ) -> List[str]:
+        return [
+            name
+            for name in sorted(self.instances)
+            if not gatefile.info(module.instances[name].cell).is_sequential
+        ]
+
+
+@dataclass
+class RegionMap:
+    """All regions of a module plus the instance index."""
+
+    regions: Dict[str, Region] = field(default_factory=dict)
+    instance_region: Dict[str, str] = field(default_factory=dict)
+
+    def add(self, region: Region) -> None:
+        self.regions[region.name] = region
+        for instance in region.instances:
+            self.instance_region[instance] = region.name
+
+    def region_of(self, instance: str) -> Optional[str]:
+        return self.instance_region.get(instance)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+
+class GroupingError(Exception):
+    """Raised when regions are inconsistent with the netlist."""
+
+
+class _Connectivity:
+    """Pre-computed data-connection maps, heuristics applied."""
+
+    def __init__(
+        self,
+        module: Module,
+        gatefile: Gatefile,
+        false_path_nets: Iterable[str] = (),
+    ):
+        self.module = module
+        self.gatefile = gatefile
+        ignored = set(false_path_nets)
+        #: net -> driving instances / reading instances (data pins only)
+        self.drivers: Dict[str, List[str]] = {}
+        self.readers: Dict[str, List[str]] = {}
+        for net_name, net in module.nets.items():
+            if net.is_constant or net_name in ignored:
+                continue
+            for ref in net.connections:
+                if ref.instance is None:
+                    continue
+                info = gatefile.info(module.instances[ref.instance].cell)
+                pin = info.pins.get(ref.pin)
+                if pin is None or pin.is_clock:
+                    continue
+                if pin.direction == PortDirection.OUTPUT:
+                    self.drivers.setdefault(net_name, []).append(ref.instance)
+                elif pin.direction == PortDirection.INPUT:
+                    self.readers.setdefault(net_name, []).append(ref.instance)
+        #: bus base -> all driver instances of any bit
+        self.bus_drivers: Dict[str, Set[str]] = {}
+        for net_name, drivers in self.drivers.items():
+            base = bus_base(net_name)
+            if base is not None:
+                self.bus_drivers.setdefault(base, set()).update(drivers)
+
+    def is_comb(self, instance: str) -> bool:
+        cell = self.module.instances[instance].cell
+        return not self.gatefile.info(cell).is_sequential
+
+    def input_nets(self, instance: str) -> List[str]:
+        inst = self.module.instances[instance]
+        info = self.gatefile.info(inst.cell)
+        return [
+            net
+            for pin, net in inst.pins.items()
+            if pin in info.pins
+            and info.pins[pin].direction == PortDirection.INPUT
+            and not info.pins[pin].is_clock
+        ]
+
+    def output_nets(self, instance: str) -> List[str]:
+        inst = self.module.instances[instance]
+        info = self.gatefile.info(inst.cell)
+        return [
+            net
+            for pin, net in inst.pins.items()
+            if pin in info.pins
+            and info.pins[pin].direction == PortDirection.OUTPUT
+        ]
+
+    def comb_sources(self, instance: str) -> List[str]:
+        out: List[str] = []
+        for net in self.input_nets(instance):
+            out.extend(d for d in self.drivers.get(net, []) if self.is_comb(d))
+        return out
+
+    def all_sources(self, instance: str) -> List[str]:
+        out: List[str] = []
+        for net in self.input_nets(instance):
+            out.extend(self.drivers.get(net, []))
+        return out
+
+    def targets(self, instance: str) -> List[str]:
+        out: List[str] = []
+        for net in self.output_nets(instance):
+            out.extend(self.readers.get(net, []))
+        return out
+
+    def sequential_targets(self, instance: str) -> List[str]:
+        return [t for t in self.targets(instance) if not self.is_comb(t)]
+
+    def target_bus_drivers(self, instance: str) -> Set[str]:
+        out: Set[str] = set()
+        for net in self.output_nets(instance):
+            base = bus_base(net)
+            if base is not None:
+                out.update(self.bus_drivers.get(base, set()))
+        return out
+
+
+def group_regions(
+    module: Module,
+    gatefile: Gatefile,
+    false_path_nets: Iterable[str] = (),
+    use_bus_heuristic: bool = True,
+) -> RegionMap:
+    """Run the automatic grouping algorithm of Figure 3.4."""
+    conn = _Connectivity(module, gatefile, false_path_nets)
+    grouped: Dict[str, int] = {}
+    groups: List[Set[str]] = []
+
+    def assign(instance: str, group_index: int, worklist: List[str]) -> None:
+        if instance in grouped:
+            return
+        grouped[instance] = group_index
+        groups[group_index].add(instance)
+        worklist.append(instance)
+
+    # -- step 1: connected components seeded from combinational gates
+    for seed in module.instances:
+        if seed in grouped or not conn.is_comb(seed):
+            continue
+        group_index = len(groups)
+        groups.append(set())
+        worklist: List[str] = []
+        assign(seed, group_index, worklist)
+        while worklist:
+            cell = worklist.pop()
+            for source in conn.comb_sources(cell):
+                assign(source, group_index, worklist)
+            if conn.is_comb(cell):
+                for target in conn.targets(cell):
+                    assign(target, group_index, worklist)
+                if use_bus_heuristic:
+                    for driver in conn.target_bus_drivers(cell):
+                        assign(driver, group_index, worklist)
+
+    # merge groups that share members through sequential pulls
+    # (assign() already prevents double membership, so groups are disjoint)
+
+    # -- step 2: flip-flops directly driven by grouped flip-flops
+    changed = True
+    while changed:
+        changed = False
+        for instance, group_index in list(grouped.items()):
+            if conn.is_comb(instance):
+                continue
+            for target in conn.sequential_targets(instance):
+                if target not in grouped:
+                    grouped[target] = group_index
+                    groups[group_index].add(target)
+                    changed = True
+
+    # -- step 3: everything else goes to Group 0
+    group0: Set[str] = set()
+    for instance in module.instances:
+        if instance not in grouped:
+            group0.add(instance)
+
+    region_map = RegionMap()
+    if group0:
+        region_map.add(Region("G0", group0))
+    for index, members in enumerate(groups, start=1):
+        if members:
+            region_map.add(Region(f"G{index}", members))
+    return region_map
+
+
+def manual_regions(
+    module: Module, assignment: Dict[str, str]
+) -> RegionMap:
+    """Build a RegionMap from an explicit instance -> region mapping.
+
+    Instances absent from ``assignment`` go to Group 0, mirroring the
+    tool's manual-specification mode (section 3.2.2).
+    """
+    region_map = RegionMap()
+    by_region: Dict[str, Set[str]] = {}
+    for instance in module.instances:
+        region = assignment.get(instance, "G0")
+        by_region.setdefault(region, set()).add(instance)
+    for name, members in sorted(by_region.items()):
+        region_map.add(Region(name, members))
+    return region_map
+
+
+def single_region(module: Module, name: str = "G1") -> RegionMap:
+    """Whole design as one region (the ARM case, section 5.3)."""
+    region_map = RegionMap()
+    region_map.add(Region(name, set(module.instances)))
+    return region_map
+
+
+def validate_independence(
+    module: Module,
+    gatefile: Gatefile,
+    region_map: RegionMap,
+    false_path_nets: Iterable[str] = (),
+) -> List[str]:
+    """Check no combinational connection crosses region boundaries.
+
+    Returns a list of violation descriptions (empty when regions are
+    independent, the precondition of the basic desynchronization
+    methodology).
+    """
+    conn = _Connectivity(module, gatefile, false_path_nets)
+    problems: List[str] = []
+    for instance in module.instances:
+        if not conn.is_comb(instance):
+            continue
+        source_region = region_map.region_of(instance)
+        for target in conn.targets(instance):
+            if not conn.is_comb(target):
+                continue
+            target_region = region_map.region_of(target)
+            if source_region != target_region:
+                problems.append(
+                    f"comb connection {instance} ({source_region}) -> "
+                    f"{target} ({target_region})"
+                )
+    return problems

@@ -1,0 +1,258 @@
+"""``drdesync`` -- the desynchronization tool driver (chapter 3).
+
+Runs the conversion as the sequence of steps of section 3.2:
+
+1. design import (name cleaning, assign resolution),
+2. automatic region creation (or manual / single-region),
+3. flip-flop substitution,
+4. data-dependency graph construction,
+5. delay-element creation (STA-characterised ladder),
+6. control-network insertion,
+7. design export (Verilog or BLIF) plus physical timing constraints.
+
+The whole tool is pure netlist-to-netlist: it consumes a post-synthesis
+(optionally post-DFT) gate-level design and produces the desynchronized
+netlist, ready for the backend, exactly like the paper's C tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from ..liberty.gatefile import Gatefile, build_gatefile
+from ..liberty.model import Library
+from ..liberty.techmap import GateChooser
+from ..netlist.cleanup import clean_logic, resolve_assigns, simplify_names
+from ..netlist.core import Module
+from ..netlist.verilog import write_module
+from ..netlist.blif import write_blif_module
+from ..sta.sdc import SdcFile
+from .constraints import disables_for_sta, generate_constraints
+from .controllers import ensure_controller_cell
+from .ddg import build_ddg
+from .delays import DelayLadder, characterize_ladder
+from .domains import analyze_clock_domains, select_domain
+from .ffsub import SubstitutionResult, substitute_flip_flops
+from .network import ControlNetwork, insert_control_network
+from .regions import (
+    RegionMap,
+    group_regions,
+    manual_regions,
+    single_region,
+    validate_independence,
+)
+
+
+@dataclass
+class DesyncOptions:
+    """Tool options (the paper's command-line switches)."""
+
+    #: "auto" (grouping algorithm), "single" (ARM case) or "manual"
+    grouping: str = "auto"
+    #: manual instance -> region assignment (grouping == "manual")
+    manual_assignment: Dict[str, str] = field(default_factory=dict)
+    #: net names to ignore during grouping (false paths, section 3.2.2)
+    false_path_nets: Tuple[str, ...] = ()
+    #: logic cleaning before grouping (buffer / inverter-pair removal)
+    clean: bool = True
+    #: delay-element safety margin over the region critical path
+    delay_margin: float = 0.10
+    #: 0 = fixed-length delay elements; >1 = multiplexed taps (DLX used 8)
+    delay_mux_taps: int = 0
+    #: full-chain headroom factor for multiplexed elements, so the
+    #: selection axis straddles the matched point (Figure 5.3)
+    delay_mux_headroom: float = 2.2
+    #: analysis corner used for delay matching
+    corner: str = "worst"
+    #: reset port name added to the design
+    reset_port: str = "rst"
+    #: clock period for the generated ClkM/ClkS constraints (ns); when
+    #: None it is derived from the synchronous critical path
+    clock_period: Optional[float] = None
+    #: for multi-clock designs: desynchronize only this clock domain
+    #: (partial desynchronization, chapter 6 future work); other
+    #: domains keep their flip-flops and clocks
+    clock_domain: Optional[str] = None
+
+
+@dataclass
+class DesyncResult:
+    """Everything the tool produced."""
+
+    module: Module
+    gatefile: Gatefile
+    region_map: RegionMap
+    ddg: "nx.DiGraph"
+    substitution: SubstitutionResult
+    network: ControlNetwork
+    ladder: DelayLadder
+    sdc: SdcFile
+    import_stats: Dict[str, int] = field(default_factory=dict)
+
+    def sta_disables(self):
+        """Timing disables for repro.sta analyses of the result."""
+        return disables_for_sta(self.network, self.module)
+
+    def export_verilog(self) -> str:
+        return write_module(self.module)
+
+    def export_blif(self) -> str:
+        return write_blif_module(self.module)
+
+    def export_sdc(self) -> str:
+        return self.sdc.to_text()
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "regions": len(self.region_map),
+            "flip_flops_replaced": self.substitution.replaced,
+            "controllers": len(self.network.controllers),
+            "delay_elements": len(self.network.delay_elements),
+            "cells": len(self.module.instances),
+            "nets": len(self.module.nets),
+        }
+
+
+class Drdesync:
+    """The desynchronization tool.
+
+    One instance binds a technology library (gatefile generated on
+    construction -- the library-preparation phase of section 3.1);
+    :meth:`run` desynchronizes one design.
+    """
+
+    def __init__(
+        self,
+        library: Library,
+        ladder: Optional[DelayLadder] = None,
+        corner: str = "worst",
+        max_delay_levels: int = 240,
+    ):
+        self.library = library
+        ensure_controller_cell(library)
+        self.gatefile = build_gatefile(library)
+        self.chooser = GateChooser(library)
+        # the paper characterises 1..100 levels; larger designs with
+        # register-file read + ALU clouds need a longer ladder
+        self.ladder = ladder or characterize_ladder(
+            library, corner, max_length=max_delay_levels
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, module: Module, options: Optional[DesyncOptions] = None
+    ) -> DesyncResult:
+        """Desynchronize ``module`` in place and return the result."""
+        options = options or DesyncOptions()
+
+        # -- 3.2.1 design import hygiene
+        import_stats = {
+            "assigns_resolved": resolve_assigns(module),
+            "names_simplified": simplify_names(module),
+        }
+
+        # derive the clock period before touching the netlist
+        clock_period = options.clock_period
+        if clock_period is None:
+            from ..sta.analysis import min_clock_period
+
+            clock_period = min_clock_period(
+                module, self.library, options.corner
+            )
+
+        # -- 3.2.2 automatic region creation (with logic cleaning)
+        if options.clean and options.grouping == "auto":
+            import_stats.update(
+                clean_logic(module, self.gatefile, options.false_path_nets)
+            )
+        if options.grouping == "auto":
+            region_map = group_regions(
+                module, self.gatefile, options.false_path_nets
+            )
+        elif options.grouping == "single":
+            region_map = single_region(module)
+        elif options.grouping == "manual":
+            region_map = manual_regions(module, options.manual_assignment)
+        else:
+            raise ValueError(f"unknown grouping mode {options.grouping!r}")
+
+        problems = validate_independence(
+            module, self.gatefile, region_map, options.false_path_nets
+        )
+        if problems:
+            raise ValueError(
+                "regions are not combinationally independent: "
+                + "; ".join(problems[:5])
+            )
+
+        # clock-domain analysis: single-clock designs convert whole;
+        # multi-clock designs need an explicit domain selection and the
+        # other domains stay synchronous (partial desynchronization)
+        domains = analyze_clock_domains(module, self.gatefile)
+        selected = select_domain(domains, options.clock_domain)
+        foreign: set = set()
+        if selected is not None:
+            for root, members in domains.domains.items():
+                foreign.update(members - selected)
+            for name in foreign:
+                region = region_map.instance_region.pop(name, None)
+                if region is not None and region in region_map.regions:
+                    region_map.regions[region].instances.discard(name)
+
+        # -- 3.2.3 flip-flop substitution
+        substitution = substitute_flip_flops(
+            module, self.gatefile, self.library, region_map, self.chooser,
+            exclude=foreign,
+        )
+
+        # -- 3.2.4 data-dependency graph
+        ddg = build_ddg(
+            module, self.gatefile, region_map, options.false_path_nets,
+            env_instances=foreign,
+        )
+
+        # -- 3.2.5 / 3.2.6 delay elements + control network
+        network = insert_control_network(
+            module,
+            self.library,
+            self.gatefile,
+            region_map,
+            ddg,
+            self.ladder,
+            chooser=self.chooser,
+            delay_margin=options.delay_margin,
+            mux_taps=options.delay_mux_taps,
+            mux_headroom=options.delay_mux_headroom,
+            reset_port=options.reset_port,
+            corner=options.corner,
+        )
+
+        # -- 3.2.7 design export artefacts
+        sdc = generate_constraints(
+            module, network, clock_period, options.delay_margin
+        )
+
+        return DesyncResult(
+            module=module,
+            gatefile=self.gatefile,
+            region_map=region_map,
+            ddg=ddg,
+            substitution=substitution,
+            network=network,
+            ladder=self.ladder,
+            sdc=sdc,
+            import_stats=import_stats,
+        )
+
+
+def desynchronize(
+    module: Module,
+    library: Library,
+    options: Optional[DesyncOptions] = None,
+) -> DesyncResult:
+    """One-call convenience wrapper around :class:`Drdesync`."""
+    tool = Drdesync(library, corner=(options or DesyncOptions()).corner)
+    return tool.run(module, options)

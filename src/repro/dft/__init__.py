@@ -1,0 +1,24 @@
+"""Design for testability: scan insertion and test-vector generation."""
+
+from .scan import ScanError, ScanResult, insert_scan, shift_pattern_in
+from .atpg import (
+    AtpgResult,
+    Fault,
+    enumerate_faults,
+    generate_tests,
+    grade_patterns,
+    random_patterns,
+)
+
+__all__ = [
+    "AtpgResult",
+    "Fault",
+    "ScanError",
+    "ScanResult",
+    "enumerate_faults",
+    "generate_tests",
+    "grade_patterns",
+    "insert_scan",
+    "random_patterns",
+    "shift_pattern_in",
+]

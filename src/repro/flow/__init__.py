@@ -1,0 +1,20 @@
+"""End-to-end implementation flows and result reporting."""
+
+from .reports import AreaReport, ComparisonTable, area_report, overhead
+from .implementation import (
+    ImplementationResult,
+    compare_implementations,
+    implement_desynchronized,
+    implement_synchronous,
+)
+
+__all__ = [
+    "AreaReport",
+    "ComparisonTable",
+    "ImplementationResult",
+    "area_report",
+    "compare_implementations",
+    "implement_desynchronized",
+    "implement_synchronous",
+    "overhead",
+]

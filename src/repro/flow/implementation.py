@@ -1,0 +1,122 @@
+"""End-to-end implementation flows (Figures 4.1 and 5.1).
+
+Both flows start from the same post-synthesis netlist and use the same
+backend, so the comparison is fair -- the paper's central experimental
+discipline.  The "synthesis" front-end of the paper (Design Compiler)
+is replaced by the gate-level design generators; the flow adds the
+optional DFT pass, the desynchronization step for the asynchronous
+variant, and the physical backend, collecting the Table 5.1 / 5.2
+metrics at each phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..desync.tool import DesyncOptions, DesyncResult, Drdesync
+from ..dft.scan import ScanResult, insert_scan
+from ..liberty.gatefile import Gatefile, build_gatefile
+from ..liberty.model import Library
+from ..netlist.core import Module
+from ..physical.backend import BackendResult, run_backend
+from ..sta.analysis import min_clock_period
+from .reports import AreaReport, ComparisonTable, area_report
+
+
+@dataclass
+class ImplementationResult:
+    """One implemented design: netlist through layout with reports."""
+
+    module: Module
+    library: Library
+    gatefile: Gatefile
+    post_synthesis: AreaReport
+    post_layout: Optional[AreaReport] = None
+    backend: Optional[BackendResult] = None
+    scan: Optional[ScanResult] = None
+    desync: Optional[DesyncResult] = None
+    min_period: Optional[float] = None
+
+
+def implement_synchronous(
+    module: Module,
+    library: Library,
+    with_scan: bool = False,
+    target_utilization: float = 0.92,
+    run_pnr: bool = True,
+) -> ImplementationResult:
+    """The conventional flow: (DFT) -> P&R -> reports."""
+    gatefile = build_gatefile(library)
+    scan = insert_scan(module, library) if with_scan else None
+    post_synthesis = area_report(module, library, gatefile)
+    result = ImplementationResult(
+        module, library, gatefile, post_synthesis, scan=scan
+    )
+    result.min_period = min_clock_period(module, library, "worst")
+    if run_pnr:
+        backend = run_backend(
+            module, library, target_utilization=target_utilization
+        )
+        result.backend = backend
+        result.post_layout = area_report(
+            module,
+            library,
+            gatefile,
+            core_size=backend.report.core_size,
+            utilization=backend.report.utilization,
+        )
+    return result
+
+
+def implement_desynchronized(
+    module: Module,
+    library: Library,
+    tool: Optional[Drdesync] = None,
+    options: Optional[DesyncOptions] = None,
+    with_scan: bool = False,
+    target_utilization: float = 0.90,
+    run_pnr: bool = True,
+) -> ImplementationResult:
+    """The desynchronization flow: (DFT) -> drdesync -> P&R -> reports."""
+    tool = tool or Drdesync(library)
+    scan = insert_scan(module, library) if with_scan else None
+    desync = tool.run(module, options)
+    post_synthesis = area_report(module, library, tool.gatefile)
+    result = ImplementationResult(
+        module,
+        library,
+        tool.gatefile,
+        post_synthesis,
+        scan=scan,
+        desync=desync,
+    )
+    if run_pnr:
+        backend = run_backend(
+            module,
+            library,
+            sdc=desync.sdc,
+            target_utilization=target_utilization,
+        )
+        result.backend = backend
+        result.post_layout = area_report(
+            module,
+            library,
+            tool.gatefile,
+            core_size=backend.report.core_size,
+            utilization=backend.report.utilization,
+        )
+    return result
+
+
+def compare_implementations(
+    design_name: str,
+    sync: ImplementationResult,
+    desync: ImplementationResult,
+) -> ComparisonTable:
+    """Assemble the Table 5.1 / 5.2 comparison."""
+    table = ComparisonTable(design_name)
+    table.add_phase("Post Synthesis", sync.post_synthesis, desync.post_synthesis)
+    if sync.post_layout and desync.post_layout:
+        table.add_phase("Post Layout", sync.post_layout, desync.post_layout)
+    return table

@@ -1,0 +1,125 @@
+"""Area / timing / power reports in the paper's table formats.
+
+Table 5.1 / 5.2 rows: per design phase (post-synthesis, post-layout):
+nets, cells, cell area split into combinational and sequential logic,
+core size and utilization -- plus the percentage overhead columns
+comparing the desynchronized version against the synchronous one.
+
+Accounting note from section 5.3.1: the paper counts the combinational
+cells added by flip-flop substitution (scan muxes, set/reset gating) as
+*sequential logic overhead*; drdesync tags those cells ``seq_overhead``
+and this module honours the same convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..liberty.gatefile import Gatefile
+from ..liberty.model import Library
+from ..netlist.core import Module
+
+
+@dataclass
+class AreaReport:
+    """One column of Table 5.1 / 5.2 for one design phase."""
+
+    nets: int = 0
+    cells: int = 0
+    cell_area: float = 0.0
+    combinational_area: float = 0.0
+    sequential_area: float = 0.0
+    core_size: Optional[float] = None
+    utilization: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {
+            "# nets": self.nets,
+            "# cells": self.cells,
+            "cell area (um2)": round(self.cell_area, 2),
+            "combinational logic (um2)": round(self.combinational_area, 2),
+            "sequential logic (um2)": round(self.sequential_area, 2),
+        }
+        if self.core_size is not None:
+            out["core size (um2)"] = round(self.core_size, 2)
+        if self.utilization is not None:
+            out["core utilization (%)"] = round(self.utilization * 100, 2)
+        return out
+
+
+def area_report(
+    module: Module,
+    library: Library,
+    gatefile: Gatefile,
+    core_size: Optional[float] = None,
+    utilization: Optional[float] = None,
+) -> AreaReport:
+    """Measure a netlist, applying the paper's seq-overhead accounting."""
+    report = AreaReport(
+        nets=len(module.nets),
+        cells=len(module.instances),
+        core_size=core_size,
+        utilization=utilization,
+    )
+    for inst in module.instances.values():
+        cell = library.cells.get(inst.cell)
+        if cell is None:
+            continue
+        report.cell_area += cell.area
+        info = gatefile.cells.get(inst.cell)
+        is_sequential = info.is_sequential if info else False
+        if is_sequential or inst.attributes.get("seq_overhead"):
+            report.sequential_area += cell.area
+        else:
+            report.combinational_area += cell.area
+    return report
+
+
+def overhead(sync_value: float, desync_value: float) -> float:
+    """Percentage overhead of the desynchronized value."""
+    if sync_value == 0:
+        return 0.0
+    return (desync_value - sync_value) / sync_value * 100.0
+
+
+@dataclass
+class ComparisonTable:
+    """Sync vs desync comparison in the Table 5.1 / 5.2 layout."""
+
+    design: str
+    phases: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict
+    )
+
+    def add_phase(
+        self, phase: str, sync: AreaReport, desync: AreaReport
+    ) -> None:
+        rows: Dict[str, Dict[str, float]] = {}
+        sync_dict = sync.as_dict()
+        desync_dict = desync.as_dict()
+        for key in sync_dict:
+            if key not in desync_dict:
+                continue
+            rows[key] = {
+                "sync": sync_dict[key],
+                "desync": desync_dict[key],
+                "overhead_pct": round(
+                    overhead(sync_dict[key], desync_dict[key]), 2
+                ),
+            }
+        self.phases[phase] = rows
+
+    def to_text(self) -> str:
+        lines = [f"== {self.design}: synchronous vs desynchronized =="]
+        for phase, rows in self.phases.items():
+            lines.append(f"-- {phase} --")
+            lines.append(
+                f"{'property':28s} {'sync':>14s} {'desync':>14s} {'ovhd %':>8s}"
+            )
+            for name, row in rows.items():
+                lines.append(
+                    f"{name:28s} {row['sync']:>14.2f} {row['desync']:>14.2f} "
+                    f"{row['overhead_pct']:>8.2f}"
+                )
+        return "\n".join(lines)

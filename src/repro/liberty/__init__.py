@@ -1,0 +1,68 @@
+"""Technology library support: Liberty I/O, gatefile, synthetic CORE9."""
+
+from .functions import (
+    FunctionParseError,
+    compile_function,
+    evaluate,
+    expr_inputs,
+    expr_to_text,
+    literal_count,
+    parse_function,
+)
+from .model import (
+    CellKind,
+    Library,
+    LibraryCell,
+    LibraryPin,
+    OperatingCorner,
+    SequentialInfo,
+    TimingArc,
+    is_scan_cell,
+)
+from .parser import LibertyParseError, parse_liberty, read_liberty
+from .writer import save_liberty, write_liberty
+from .gatefile import (
+    Gatefile,
+    GatefileError,
+    GateInfo,
+    GatePin,
+    ReplacementRule,
+    build_gatefile,
+)
+from .techmap import ExpressionMapper, GateChooser, TechmapError
+from .core9 import AREA_UNIT, core9_hs, core9_ll
+
+__all__ = [
+    "AREA_UNIT",
+    "CellKind",
+    "ExpressionMapper",
+    "FunctionParseError",
+    "GateChooser",
+    "Gatefile",
+    "GatefileError",
+    "GateInfo",
+    "GatePin",
+    "Library",
+    "LibraryCell",
+    "LibraryPin",
+    "LibertyParseError",
+    "OperatingCorner",
+    "ReplacementRule",
+    "SequentialInfo",
+    "TechmapError",
+    "TimingArc",
+    "build_gatefile",
+    "compile_function",
+    "core9_hs",
+    "core9_ll",
+    "evaluate",
+    "expr_inputs",
+    "expr_to_text",
+    "is_scan_cell",
+    "literal_count",
+    "parse_function",
+    "parse_liberty",
+    "read_liberty",
+    "save_liberty",
+    "write_liberty",
+]

@@ -1,0 +1,377 @@
+"""Synthetic CORE9-class 90nm standard-cell libraries.
+
+The paper targets the STMicroelectronics CORE9 90nm library (High-Speed
+for the DLX, Low-Leakage for the ARM).  That library is proprietary, so
+this module generates self-consistent stand-ins with 90nm-scale numbers
+(FO4 around 50 ps at nominal, ~1.4 um^2 area grid, best/worst operating
+conditions only -- the paper notes the library has no typical corner).
+
+The desynchronization tool consumes libraries exclusively through the
+gatefile, so any library with the same *shape* (cell kinds, pin roles,
+replacement-rule structure) exercises the identical flow code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.core import PortDirection
+from .model import (
+    Library,
+    LibraryCell,
+    LibraryPin,
+    OperatingCorner,
+    SequentialInfo,
+    TimingArc,
+)
+from .model import CellKind
+
+#: one placement-grid area unit in um^2 (90nm-class)
+AREA_UNIT = 1.4
+
+#: drive-strength scaling: (input-cap factor, resistance factor, max load pF)
+_DRIVES: Dict[str, Tuple[float, float, float]] = {
+    "X1": (1.0, 1.00, 0.060),
+    "X2": (1.8, 0.52, 0.120),
+    "X4": (3.2, 0.27, 0.240),
+}
+
+_BASE_CAP = 0.003  # pF, X1 input pin
+_BASE_RES = 3.0  # ns/pF, X1 output
+
+
+def _comb_cell(
+    name: str,
+    area_units: float,
+    outputs: Dict[str, str],
+    inputs: List[str],
+    intrinsic: float,
+    drive: str = "X1",
+    leakage_per_unit: float = 0.04,
+    extra_area_per_drive: float = 0.8,
+) -> LibraryCell:
+    cap_factor, res_factor, max_cap = _DRIVES[drive]
+    drive_index = list(_DRIVES).index(drive)
+    area = (area_units + extra_area_per_drive * drive_index) * AREA_UNIT
+    cell = LibraryCell(
+        name=f"{name}{drive}",
+        area=area,
+        leakage=leakage_per_unit * area_units * (1.0 + 0.5 * drive_index),
+        switch_energy=0.0015 * area_units,
+    )
+    for pin_name in inputs:
+        cell.pins[pin_name] = LibraryPin(
+            pin_name, PortDirection.INPUT, capacitance=_BASE_CAP * cap_factor
+        )
+    for out_name, function in outputs.items():
+        cell.pins[out_name] = LibraryPin(
+            out_name,
+            PortDirection.OUTPUT,
+            function=function,
+            max_capacitance=max_cap,
+        )
+        for pin_name in inputs:
+            cell.arcs.append(
+                TimingArc(
+                    related_pin=pin_name,
+                    pin=out_name,
+                    timing_type="combinational",
+                    intrinsic_rise=intrinsic,
+                    intrinsic_fall=intrinsic * 0.92,
+                    rise_resistance=_BASE_RES * res_factor,
+                    fall_resistance=_BASE_RES * res_factor * 0.9,
+                )
+            )
+    return cell
+
+
+_COMB_DEFS: List[Tuple[str, float, Dict[str, str], List[str], float, Tuple[str, ...]]] = [
+    ("INV", 2.0, {"Z": "!A"}, ["A"], 0.016, ("X1", "X2", "X4")),
+    ("BUF", 2.6, {"Z": "A"}, ["A"], 0.028, ("X1", "X2", "X4")),
+    ("CKBUF", 3.0, {"Z": "A"}, ["A"], 0.026, ("X2", "X4")),
+    ("NAND2", 3.0, {"Z": "!(A * B)"}, ["A", "B"], 0.022, ("X1", "X2", "X4")),
+    ("NAND3", 4.0, {"Z": "!(A * B * C)"}, ["A", "B", "C"], 0.028, ("X1", "X2")),
+    ("NAND4", 5.0, {"Z": "!(A * B * C * D)"}, ["A", "B", "C", "D"], 0.034, ("X1",)),
+    ("NOR2", 3.0, {"Z": "!(A + B)"}, ["A", "B"], 0.026, ("X1", "X2", "X4")),
+    ("NOR3", 4.0, {"Z": "!(A + B + C)"}, ["A", "B", "C"], 0.034, ("X1",)),
+    ("AND2", 3.5, {"Z": "A * B"}, ["A", "B"], 0.032, ("X1", "X2", "X4")),
+    ("AND3", 4.5, {"Z": "A * B * C"}, ["A", "B", "C"], 0.038, ("X1", "X2")),
+    ("ANDN2", 3.5, {"Z": "A * !B"}, ["A", "B"], 0.034, ("X1", "X2")),
+    ("OR2", 3.5, {"Z": "A + B"}, ["A", "B"], 0.034, ("X1", "X2", "X4")),
+    ("OR3", 4.5, {"Z": "A + B + C"}, ["A", "B", "C"], 0.040, ("X1", "X2")),
+    ("ORN2", 3.5, {"Z": "A + !B"}, ["A", "B"], 0.036, ("X1", "X2")),
+    ("XOR2", 5.5, {"Z": "A ^ B"}, ["A", "B"], 0.044, ("X1", "X2")),
+    ("XNOR2", 5.5, {"Z": "!(A ^ B)"}, ["A", "B"], 0.044, ("X1", "X2")),
+    ("MUX2", 5.0, {"Z": "(A * !S) + (B * S)"}, ["A", "B", "S"], 0.042, ("X1", "X2")),
+    ("AOI21", 4.0, {"Z": "!((A * B) + C)"}, ["A", "B", "C"], 0.030, ("X1", "X2")),
+    ("OAI21", 4.0, {"Z": "!((A + B) * C)"}, ["A", "B", "C"], 0.030, ("X1", "X2")),
+    ("AOI22", 5.0, {"Z": "!((A * B) + (C * D))"}, ["A", "B", "C", "D"], 0.036, ("X1",)),
+    ("OAI22", 5.0, {"Z": "!((A + B) * (C + D))"}, ["A", "B", "C", "D"], 0.036, ("X1",)),
+    (
+        "MAJ3",
+        6.0,
+        {"Z": "(A * B) + (A * C) + (B * C)"},
+        ["A", "B", "C"],
+        0.048,
+        ("X1", "X2"),
+    ),
+    (
+        "HA",
+        6.5,
+        {"S": "A ^ B", "CO": "A * B"},
+        ["A", "B"],
+        0.046,
+        ("X1",),
+    ),
+    (
+        "FA",
+        9.5,
+        {
+            "S": "A ^ B ^ CI",
+            "CO": "(A * B) + (A * CI) + (B * CI)",
+        },
+        ["A", "B", "CI"],
+        0.058,
+        ("X1",),
+    ),
+]
+
+
+def _ff_cell(
+    name: str,
+    area_units: float,
+    data_inputs: List[str],
+    next_state: str,
+    clear: Optional[str] = None,
+    preset: Optional[str] = None,
+    leakage_per_unit: float = 0.04,
+) -> LibraryCell:
+    cell = LibraryCell(
+        name=name,
+        area=area_units * AREA_UNIT,
+        leakage=leakage_per_unit * area_units,
+        switch_energy=0.0024 * area_units,
+    )
+    cell.sequential = SequentialInfo(
+        kind=CellKind.FLIP_FLOP,
+        state_pin="IQ",
+        next_state=next_state,
+        clocked_on="CK",
+        clear=clear,
+        preset=preset,
+    )
+    for pin_name in data_inputs:
+        cell.pins[pin_name] = LibraryPin(
+            pin_name, PortDirection.INPUT, capacitance=_BASE_CAP
+        )
+        cell.arcs.append(
+            TimingArc(pin_name, pin_name, "setup_rising", 0.070, 0.070)
+        )
+        cell.arcs.append(
+            TimingArc(pin_name, pin_name, "hold_rising", 0.015, 0.015)
+        )
+    cell.pins["CK"] = LibraryPin(
+        "CK", PortDirection.INPUT, capacitance=_BASE_CAP * 1.2, is_clock=True
+    )
+    for out_name, function in (("Q", "IQ"), ("QN", "!IQ")):
+        cell.pins[out_name] = LibraryPin(
+            out_name,
+            PortDirection.OUTPUT,
+            function=function,
+            max_capacitance=0.08,
+        )
+        cell.arcs.append(
+            TimingArc(
+                "CK",
+                out_name,
+                "rising_edge",
+                intrinsic_rise=0.095,
+                intrinsic_fall=0.090,
+                rise_resistance=_BASE_RES * 0.8,
+                fall_resistance=_BASE_RES * 0.75,
+            )
+        )
+    return cell
+
+
+def _latch_cell(
+    name: str,
+    area_units: float,
+    drive: str = "X1",
+    leakage_per_unit: float = 0.04,
+) -> LibraryCell:
+    """Simple transparent-high latch -- the only latch type, per the paper."""
+    cap_factor, res_factor, max_cap = _DRIVES[drive]
+    cell = LibraryCell(
+        name=f"{name}{drive}",
+        area=area_units * AREA_UNIT,
+        leakage=leakage_per_unit * area_units,
+        switch_energy=0.0018 * area_units,
+    )
+    cell.sequential = SequentialInfo(
+        kind=CellKind.LATCH,
+        state_pin="IQ",
+        next_state="D",
+        clocked_on="G",
+    )
+    cell.pins["D"] = LibraryPin(
+        "D", PortDirection.INPUT, capacitance=_BASE_CAP * cap_factor
+    )
+    cell.pins["G"] = LibraryPin(
+        "G",
+        PortDirection.INPUT,
+        capacitance=_BASE_CAP * 1.1 * cap_factor,
+        is_clock=True,
+    )
+    cell.pins["Q"] = LibraryPin(
+        "Q", PortDirection.OUTPUT, function="IQ", max_capacitance=max_cap
+    )
+    cell.arcs.append(
+        TimingArc(
+            "D",
+            "Q",
+            "combinational",
+            intrinsic_rise=0.055,
+            intrinsic_fall=0.052,
+            rise_resistance=_BASE_RES * res_factor * 0.85,
+            fall_resistance=_BASE_RES * res_factor * 0.80,
+        )
+    )
+    cell.arcs.append(
+        TimingArc(
+            "G",
+            "Q",
+            "rising_edge",
+            intrinsic_rise=0.070,
+            intrinsic_fall=0.066,
+            rise_resistance=_BASE_RES * res_factor * 0.85,
+            fall_resistance=_BASE_RES * res_factor * 0.80,
+        )
+    )
+    cell.arcs.append(TimingArc("D", "D", "setup_falling", 0.055, 0.055))
+    cell.arcs.append(TimingArc("D", "D", "hold_falling", 0.012, 0.012))
+    return cell
+
+
+def _clock_gate_cell(leakage_per_unit: float) -> LibraryCell:
+    """Integrated clock gate: low-transparent latch on EN, GCK = IQ & CK."""
+    cell = LibraryCell(
+        name="CKGATEX1",
+        area=8.0 * AREA_UNIT,
+        leakage=leakage_per_unit * 8.0,
+        switch_energy=0.016,
+    )
+    cell.sequential = SequentialInfo(
+        kind=CellKind.LATCH,
+        state_pin="IQ",
+        next_state="EN",
+        clocked_on="!CK",
+    )
+    cell.pins["EN"] = LibraryPin("EN", PortDirection.INPUT, capacitance=_BASE_CAP)
+    cell.pins["CK"] = LibraryPin(
+        "CK", PortDirection.INPUT, capacitance=_BASE_CAP * 1.4, is_clock=True
+    )
+    cell.pins["GCK"] = LibraryPin(
+        "GCK", PortDirection.OUTPUT, function="IQ * CK", max_capacitance=0.12
+    )
+    cell.arcs.append(
+        TimingArc(
+            "CK",
+            "GCK",
+            "combinational",
+            intrinsic_rise=0.040,
+            intrinsic_fall=0.038,
+            rise_resistance=_BASE_RES * 0.5,
+            fall_resistance=_BASE_RES * 0.48,
+        )
+    )
+    return cell
+
+
+def _build_library(
+    name: str,
+    delay_scale: float,
+    leakage_per_unit: float,
+    corners: Dict[str, OperatingCorner],
+) -> Library:
+    library = Library(name, corners=dict(corners))
+    for base, units, outs, ins, intrinsic, drives in _COMB_DEFS:
+        for drive in drives:
+            cell = _comb_cell(
+                base,
+                units,
+                outs,
+                ins,
+                intrinsic * delay_scale,
+                drive=drive,
+                leakage_per_unit=leakage_per_unit,
+            )
+            for arc in cell.arcs:
+                arc.rise_resistance *= delay_scale
+                arc.fall_resistance *= delay_scale
+            library.add_cell(cell)
+
+    ff_defs = [
+        ("DFFX1", 13.0, ["D"], "D", None, None),
+        ("DFFRX1", 14.2, ["D", "RN"], "D * RN", None, None),
+        ("DFFSX1", 14.2, ["D", "SN"], "D + !SN", None, None),
+        ("DFFCX1", 14.6, ["D", "CDN"], "D", "!CDN", None),
+        ("DFFPX1", 14.6, ["D", "PDN"], "D", None, "!PDN"),
+        ("SDFFX1", 16.4, ["D", "SI", "SE"], "(D * !SE) + (SI * SE)", None, None),
+        (
+            "SDFFRX1",
+            17.6,
+            ["D", "RN", "SI", "SE"],
+            "((D * RN) * !SE) + (SI * SE)",
+            None,
+            None,
+        ),
+        (
+            "SDFFCX1",
+            18.0,
+            ["D", "CDN", "SI", "SE"],
+            "(D * !SE) + (SI * SE)",
+            "!CDN",
+            None,
+        ),
+    ]
+    for ff_name, units, ins, next_state, clear, preset in ff_defs:
+        cell = _ff_cell(
+            ff_name, units, ins, next_state, clear, preset, leakage_per_unit
+        )
+        for arc in cell.arcs:
+            arc.intrinsic_rise *= delay_scale
+            arc.intrinsic_fall *= delay_scale
+            arc.rise_resistance *= delay_scale
+            arc.fall_resistance *= delay_scale
+        library.add_cell(cell)
+
+    for drive in ("X1", "X2"):
+        latch = _latch_cell("LDH", 7.65, drive, leakage_per_unit)
+        for arc in latch.arcs:
+            arc.intrinsic_rise *= delay_scale
+            arc.intrinsic_fall *= delay_scale
+            arc.rise_resistance *= delay_scale
+            arc.fall_resistance *= delay_scale
+        library.add_cell(latch)
+
+    library.add_cell(_clock_gate_cell(leakage_per_unit))
+    return library
+
+
+def core9_hs() -> Library:
+    """High-Speed library variant (used for the DLX in the paper)."""
+    corners = {
+        "best": OperatingCorner("best", 0.60, 1.10, 0.0),
+        "worst": OperatingCorner("worst", 1.45, 0.90, 125.0),
+    }
+    return _build_library("core9gphs", 1.0, 0.045, corners)
+
+
+def core9_ll() -> Library:
+    """Low-Leakage library variant (used for the ARM in the paper)."""
+    corners = {
+        "best": OperatingCorner("best", 0.62, 1.10, 0.0),
+        "worst": OperatingCorner("worst", 1.50, 0.90, 125.0),
+    }
+    return _build_library("core9gpll", 1.65, 0.0035, corners)

@@ -1,0 +1,250 @@
+"""Liberty boolean function expressions.
+
+Liberty cell functions use a small expression language::
+
+    function : "(A * B) + !C";     and/or/not as * + !
+    function : "(A B)";            juxtaposition is AND
+    function : "A ^ B";            xor
+
+This module parses such expressions to an AST and compiles them to fast
+evaluators over pin-value dicts.  Values follow 3-valued logic: 0, 1 and
+``None`` for unknown (X); unknowns propagate unless the known inputs
+already determine the output (e.g. ``0 AND X == 0``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
+
+Value = Optional[int]
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Not:
+    arg: "Expr"
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: str  # "and" | "or" | "xor"
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+
+Expr = Union[Var, Not, Op, Const]
+
+
+class FunctionParseError(Exception):
+    """Raised for malformed liberty function expressions."""
+
+
+_FN_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_\[\]]*|[()!*+^']|0|1")
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = _FN_TOKEN_RE.findall(text)
+    joined = "".join(tokens).replace(" ", "")
+    stripped = re.sub(r"\s+", "", text)
+    if joined != stripped:
+        raise FunctionParseError(f"cannot tokenize function {text!r}")
+    return tokens
+
+
+class _Parser:
+    """Recursive descent with precedence: ! ' > * (implicit) > ^ > +."""
+
+    def __init__(self, tokens: List[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self._pos >= len(self._tokens):
+            return None
+        return self._tokens[self._pos]
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise FunctionParseError("unexpected end of expression")
+        self._pos += 1
+        return tok
+
+    def parse(self) -> Expr:
+        expr = self._or()
+        if self.peek() is not None:
+            raise FunctionParseError(f"trailing tokens near {self.peek()!r}")
+        return expr
+
+    def _or(self) -> Expr:
+        args = [self._xor()]
+        while self.peek() == "+":
+            self.next()
+            args.append(self._xor())
+        if len(args) == 1:
+            return args[0]
+        return Op("or", tuple(args))
+
+    def _xor(self) -> Expr:
+        args = [self._and()]
+        while self.peek() == "^":
+            self.next()
+            args.append(self._and())
+        if len(args) == 1:
+            return args[0]
+        return Op("xor", tuple(args))
+
+    def _and(self) -> Expr:
+        args = [self._unary()]
+        while True:
+            tok = self.peek()
+            if tok == "*":
+                self.next()
+                args.append(self._unary())
+            elif tok is not None and (tok == "(" or tok == "!" or _is_name(tok)):
+                args.append(self._unary())  # implicit AND by juxtaposition
+            else:
+                break
+        if len(args) == 1:
+            return args[0]
+        return Op("and", tuple(args))
+
+    def _unary(self) -> Expr:
+        tok = self.next()
+        if tok == "!":
+            return _negate(self._unary())
+        if tok == "(":
+            inner = self._or()
+            if self.next() != ")":
+                raise FunctionParseError("missing closing parenthesis")
+            return self._postfix(inner)
+        if tok in ("0", "1"):
+            return self._postfix(Const(int(tok)))
+        if _is_name(tok):
+            return self._postfix(Var(tok))
+        raise FunctionParseError(f"unexpected token {tok!r}")
+
+    def _postfix(self, expr: Expr) -> Expr:
+        while self.peek() == "'":
+            self.next()
+            expr = _negate(expr)
+        return expr
+
+
+def _is_name(token: str) -> bool:
+    return bool(re.match(r"^[A-Za-z_]", token))
+
+
+def _negate(expr: Expr) -> Expr:
+    if isinstance(expr, Not):
+        return expr.arg
+    return Not(expr)
+
+
+def parse_function(text: str) -> Expr:
+    """Parse a liberty function string to an expression AST."""
+    return _Parser(_tokenize(text)).parse()
+
+
+def expr_inputs(expr: Expr) -> FrozenSet[str]:
+    """The set of pin names an expression reads."""
+    if isinstance(expr, Var):
+        return frozenset([expr.name])
+    if isinstance(expr, Not):
+        return expr_inputs(expr.arg)
+    if isinstance(expr, Op):
+        out: FrozenSet[str] = frozenset()
+        for arg in expr.args:
+            out |= expr_inputs(arg)
+        return out
+    return frozenset()
+
+
+def evaluate(expr: Expr, values: Dict[str, Value]) -> Value:
+    """Evaluate with 3-valued logic (None = unknown)."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return values.get(expr.name)
+    if isinstance(expr, Not):
+        inner = evaluate(expr.arg, values)
+        if inner is None:
+            return None
+        return 1 - inner
+    if expr.kind == "and":
+        result: Value = 1
+        for arg in expr.args:
+            val = evaluate(arg, values)
+            if val == 0:
+                return 0
+            if val is None:
+                result = None
+        return result
+    if expr.kind == "or":
+        result = 0
+        for arg in expr.args:
+            val = evaluate(arg, values)
+            if val == 1:
+                return 1
+            if val is None:
+                result = None
+        return result
+    # xor
+    acc = 0
+    for arg in expr.args:
+        val = evaluate(arg, values)
+        if val is None:
+            return None
+        acc ^= val
+    return acc
+
+
+def compile_function(text: str) -> Callable[[Dict[str, Value]], Value]:
+    """Parse and return a closure evaluating the function."""
+    expr = parse_function(text)
+
+    def _eval(values: Dict[str, Value]) -> Value:
+        return evaluate(expr, values)
+
+    _eval.expr = expr  # type: ignore[attr-defined]
+    _eval.inputs = expr_inputs(expr)  # type: ignore[attr-defined]
+    return _eval
+
+
+def expr_to_text(expr: Expr) -> str:
+    """Render an AST back to liberty syntax (canonical, parenthesised)."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Not):
+        return f"!{_wrap(expr.arg)}"
+    joiner = {"and": " * ", "or": " + ", "xor": " ^ "}[expr.kind]
+    return joiner.join(_wrap(arg) for arg in expr.args)
+
+
+def _wrap(expr: Expr) -> str:
+    if isinstance(expr, (Var, Const, Not)):
+        return expr_to_text(expr)
+    return f"({expr_to_text(expr)})"
+
+
+def literal_count(expr: Expr) -> int:
+    """Number of literals -- a proxy for complex-gate area."""
+    if isinstance(expr, Var):
+        return 1
+    if isinstance(expr, Const):
+        return 0
+    if isinstance(expr, Not):
+        return literal_count(expr.arg)
+    return sum(literal_count(arg) for arg in expr.args)

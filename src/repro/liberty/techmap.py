@@ -1,0 +1,182 @@
+"""Map boolean expressions onto library gates inside a netlist module.
+
+Used in three places: the FF-to-latch replacement rules (the ``next_state``
+function of a complex flip-flop becomes front logic before the master
+latch), C-Muller element synthesis (AND/OR trees plus a MAJ3 feedback),
+and the simple synthesis stage of the flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.core import Module
+from .functions import Const, Expr, Not, Op, Var, parse_function
+from .model import Library
+
+
+class TechmapError(Exception):
+    """Raised when an expression cannot be mapped with available cells."""
+
+
+class GateChooser:
+    """Picks concrete library cells for abstract gate roles.
+
+    The defaults match the CORE9-class naming; pass overrides for other
+    libraries.  Each entry is ``role -> (cell, input pins, output pin)``.
+    """
+
+    DEFAULTS: Dict[str, Tuple[str, Tuple[str, ...], str]] = {
+        "inv": ("INVX1", ("A",), "Z"),
+        "buf": ("BUFX1", ("A",), "Z"),
+        "and2": ("AND2X1", ("A", "B"), "Z"),
+        "and3": ("AND3X1", ("A", "B", "C"), "Z"),
+        "andn2": ("ANDN2X1", ("A", "B"), "Z"),
+        "or2": ("OR2X1", ("A", "B"), "Z"),
+        "or3": ("OR3X1", ("A", "B", "C"), "Z"),
+        "orn2": ("ORN2X1", ("A", "B"), "Z"),
+        "xor2": ("XOR2X1", ("A", "B"), "Z"),
+        "mux2": ("MUX2X1", ("A", "B", "S"), "Z"),
+        "maj3": ("MAJ3X1", ("A", "B", "C"), "Z"),
+        "nand2": ("NAND2X1", ("A", "B"), "Z"),
+        "nor2": ("NOR2X1", ("A", "B"), "Z"),
+    }
+
+    def __init__(
+        self,
+        library: Library,
+        overrides: Optional[Dict[str, Tuple[str, Tuple[str, ...], str]]] = None,
+    ):
+        self.library = library
+        self.table = dict(self.DEFAULTS)
+        if overrides:
+            self.table.update(overrides)
+
+    def gate(self, role: str) -> Tuple[str, Tuple[str, ...], str]:
+        entry = self.table.get(role)
+        if entry is None or entry[0] not in self.library:
+            raise TechmapError(
+                f"library {self.library.name!r} has no cell for role {role!r}"
+            )
+        return entry
+
+
+class ExpressionMapper:
+    """Instantiates gates computing an expression over named input nets."""
+
+    def __init__(self, module: Module, chooser: GateChooser, prefix: str = "tm"):
+        self.module = module
+        self.chooser = chooser
+        self.prefix = prefix
+        self.added: List[str] = []  # instance names created
+
+    # ------------------------------------------------------------------
+    def map_text(self, text: str, input_nets: Dict[str, str]) -> str:
+        """Map a liberty function string; returns the output net name."""
+        return self.map_expr(parse_function(text), input_nets)
+
+    def map_expr(self, expr: Expr, input_nets: Dict[str, str]) -> str:
+        if isinstance(expr, Const):
+            return self.module.constant_net(expr.value).name
+        if isinstance(expr, Var):
+            try:
+                return input_nets[expr.name]
+            except KeyError:
+                raise TechmapError(f"no net bound for input {expr.name!r}")
+        if isinstance(expr, Not):
+            inner = self.map_expr(expr.arg, input_nets)
+            return self._emit("inv", [inner])
+        mux = _match_mux(expr)
+        if mux is not None:
+            a, b, s = (self.map_expr(part, input_nets) for part in mux)
+            return self._emit("mux2", [a, b, s])
+        if expr.kind == "xor":
+            nets = [self.map_expr(arg, input_nets) for arg in expr.args]
+            return self._tree("xor2", nets, arity=2)
+        if expr.kind in ("and", "or"):
+            simple: List[str] = []
+            negated_last: Optional[str] = None
+            for arg in expr.args:
+                if isinstance(arg, Not) and isinstance(arg.arg, Var) and (
+                    negated_last is None
+                ):
+                    role = "andn2" if expr.kind == "and" else "orn2"
+                    if role in self.chooser.table and (
+                        self.chooser.table[role][0] in self.chooser.library
+                    ):
+                        negated_last = self.map_expr(arg.arg, input_nets)
+                        continue
+                simple.append(self.map_expr(arg, input_nets))
+            role2, role3 = (
+                ("and2", "and3") if expr.kind == "and" else ("or2", "or3")
+            )
+            if negated_last is not None:
+                if not simple:
+                    return self._emit("inv", [negated_last])
+                positive = self._tree(role2, simple, arity=2, role3=role3)
+                neg_role = "andn2" if expr.kind == "and" else "orn2"
+                return self._emit(neg_role, [positive, negated_last])
+            return self._tree(role2, simple, arity=2, role3=role3)
+        raise TechmapError(f"cannot map expression node {expr!r}")
+
+    # ------------------------------------------------------------------
+    def _tree(
+        self, role: str, nets: List[str], arity: int, role3: Optional[str] = None
+    ) -> str:
+        if not nets:
+            raise TechmapError("empty operand list")
+        nets = list(nets)
+        while len(nets) > 1:
+            if role3 is not None and len(nets) == 3 and (
+                self.chooser.table.get(role3, ("",))[0] in self.chooser.library
+            ):
+                return self._emit(role3, nets)
+            a = nets.pop(0)
+            b = nets.pop(0)
+            nets.append(self._emit(role, [a, b]))
+        return nets[0]
+
+    def _emit(self, role: str, inputs: List[str]) -> str:
+        cell, pin_names, out_pin = self.chooser.gate(role)
+        inst_name = self.module.new_name(f"{self.prefix}_{role}")
+        out_net = self.module.new_name(f"{self.prefix}_n")
+        self.module.ensure_net(out_net)
+        pins = dict(zip(pin_names, inputs))
+        pins[out_pin] = out_net
+        self.module.add_instance(inst_name, cell, pins)
+        self.added.append(inst_name)
+        return out_net
+
+
+def _match_mux(expr: Expr) -> Optional[Tuple[Expr, Expr, Expr]]:
+    """Detect ``(a * !s) + (b * s)`` and return (a, b, s)."""
+    if not isinstance(expr, Op) or expr.kind != "or" or len(expr.args) != 2:
+        return None
+    left, right = expr.args
+    if not (isinstance(left, Op) and left.kind == "and" and len(left.args) == 2):
+        return None
+    if not (isinstance(right, Op) and right.kind == "and" and len(right.args) == 2):
+        return None
+
+    def split(term: Op) -> Optional[Tuple[Expr, Expr, bool]]:
+        a, b = term.args
+        if isinstance(b, Not):
+            return a, b.arg, True
+        if isinstance(a, Not):
+            return b, a.arg, True
+        return None
+
+    # try to find a shared select: one term has !s, the other has s
+    for sel_term, other in ((left, right), (right, left)):
+        neg = split(sel_term)
+        if neg is None:
+            continue
+        data_a, sel, _ = neg
+        if not isinstance(other, Op) or other.kind != "and":
+            continue
+        a, b = other.args
+        if a == sel:
+            return data_a, b, sel
+        if b == sel:
+            return data_a, a, sel
+    return None

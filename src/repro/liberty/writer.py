@@ -1,0 +1,96 @@
+"""Emit a :class:`~repro.liberty.model.Library` as Liberty (.lib) text.
+
+The flow writes the synthetic libraries to disk and then re-imports them
+through :mod:`repro.liberty.parser`, exercising the same path the paper's
+gatefile-generation script takes over the ST .lib file.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.core import PortDirection
+from .model import Library, LibraryCell, SequentialInfo, TimingArc
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _emit_arc(arc: TimingArc, out: List[str], indent: str) -> None:
+    out.append(f"{indent}timing () {{")
+    out.append(f'{indent}  related_pin : "{arc.related_pin}";')
+    out.append(f"{indent}  timing_type : {arc.timing_type};")
+    out.append(f"{indent}  intrinsic_rise : {_fmt(arc.intrinsic_rise)};")
+    out.append(f"{indent}  intrinsic_fall : {_fmt(arc.intrinsic_fall)};")
+    out.append(f"{indent}  rise_resistance : {_fmt(arc.rise_resistance)};")
+    out.append(f"{indent}  fall_resistance : {_fmt(arc.fall_resistance)};")
+    out.append(f"{indent}}}")
+
+
+def _emit_sequential(seq: SequentialInfo, out: List[str]) -> None:
+    group = "ff" if seq.kind.value == "flip_flop" else "latch"
+    out.append(f"    {group} ({seq.state_pin}, {seq.state_pin}N) {{")
+    if group == "ff":
+        out.append(f'      next_state : "{seq.next_state}";')
+        out.append(f'      clocked_on : "{seq.clocked_on}";')
+    else:
+        out.append(f'      data_in : "{seq.next_state}";')
+        out.append(f'      enable : "{seq.clocked_on}";')
+    if seq.clear:
+        out.append(f'      clear : "{seq.clear}";')
+    if seq.preset:
+        out.append(f'      preset : "{seq.preset}";')
+    out.append("    }")
+
+
+def _emit_cell(cell: LibraryCell, out: List[str]) -> None:
+    out.append(f"  cell ({cell.name}) {{")
+    out.append(f"    area : {_fmt(cell.area)};")
+    out.append(f"    cell_leakage_power : {_fmt(cell.leakage)};")
+    out.append(f"    internal_energy : {_fmt(cell.switch_energy)};")
+    if cell.dont_touch:
+        out.append("    dont_touch : true;")
+    if cell.sequential is not None:
+        _emit_sequential(cell.sequential, out)
+    for pin in cell.pins.values():
+        out.append(f"    pin ({pin.name}) {{")
+        out.append(f"      direction : {pin.direction.value};")
+        if pin.direction == PortDirection.INPUT:
+            out.append(f"      capacitance : {_fmt(pin.capacitance)};")
+            if pin.is_clock:
+                out.append("      clock : true;")
+        else:
+            if pin.function is not None:
+                out.append(f'      function : "{pin.function}";')
+            if pin.max_capacitance is not None:
+                out.append(
+                    f"      max_capacitance : {_fmt(pin.max_capacitance)};"
+                )
+        # delay arcs live on their target pin, constraint arcs on the
+        # constrained (input) pin -- both are "arcs to" that pin
+        for arc in cell.arcs_to(pin.name):
+            _emit_arc(arc, out, "      ")
+        out.append("    }")
+    out.append("  }")
+
+
+def write_liberty(library: Library) -> str:
+    out: List[str] = [f"library ({library.name}) {{"]
+    out.append('  delay_model : "generic_cmos";')
+    out.append(f"  default_wire_cap : {_fmt(library.default_wire_cap)};")
+    for corner in library.corners.values():
+        out.append(f"  operating_conditions ({corner.name}) {{")
+        out.append(f"    voltage : {_fmt(corner.voltage)};")
+        out.append(f"    temperature : {_fmt(corner.temperature)};")
+        out.append(f"    derate : {_fmt(corner.derate)};")
+        out.append("  }")
+    for cell in library.cells.values():
+        _emit_cell(cell, out)
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def save_liberty(library: Library, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(write_liberty(library))

@@ -1,0 +1,58 @@
+"""BLIF export (section 3.2.7: "BLIF format for exporting to SIS").
+
+Only the structural subset is emitted: ``.model`` / ``.inputs`` /
+``.outputs`` / ``.gate`` lines, with constants expressed as single-output
+cover commands.  This is enough for SIS-style downstream tools and for
+round-trip testing of the exporter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .core import Module, Netlist
+
+
+def write_blif_module(module: Module) -> str:
+    lines: List[str] = [f".model {module.name}"]
+    inputs = module.port_bits(direction=None)
+    in_bits: List[str] = []
+    out_bits: List[str] = []
+    for port in module.ports.values():
+        target = in_bits if port.direction.value == "input" else out_bits
+        target.extend(port.bit_names())
+    if in_bits:
+        lines.append(".inputs " + " ".join(in_bits))
+    if out_bits:
+        lines.append(".outputs " + " ".join(out_bits))
+    for value in (0, 1):
+        name = f"__const{value}__"
+        net = module.nets.get(name)
+        if net is not None and net.connections:
+            lines.append(f".names {name}")
+            if value == 1:
+                lines.append("1")
+    for lhs, rhs in module.assigns:
+        lines.append(f".names {rhs} {lhs}")
+        lines.append("1 1")
+    for inst in module.instances.values():
+        bindings = " ".join(
+            f"{pin}={net}" for pin, net in sorted(inst.pins.items())
+        )
+        lines.append(f".gate {inst.cell} {bindings}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif(netlist: Netlist) -> str:
+    """Render the whole design; the top model comes first (SIS style)."""
+    chunks = [write_blif_module(netlist.top)]
+    for name, module in netlist.modules.items():
+        if name != netlist.top.name:
+            chunks.append(write_blif_module(module))
+    return "\n".join(chunks)
+
+
+def save_blif(netlist: Netlist, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(write_blif(netlist))

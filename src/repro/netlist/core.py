@@ -1,0 +1,450 @@
+"""Core gate-level netlist object model.
+
+The netlist is the central data structure of the desynchronization flow:
+every stage (synthesis, DFT, desynchronization, placement, simulation)
+reads and rewrites it.  The model is deliberately simple and scalar:
+
+- A :class:`Module` owns :class:`Port`, :class:`Net` and :class:`Instance`
+  objects.  All nets are single-bit; a Verilog vector port ``input [7:0] a``
+  becomes eight scalar nets named ``a[7]`` ... ``a[0]``.
+- An :class:`Instance` references a *cell* by name only.  Cell semantics
+  (pin directions, function, area) live in :mod:`repro.liberty`; the
+  netlist package never imports it.  Code that needs directions passes a
+  *cell info provider* -- any mapping-like object with
+  ``pin_direction(cell, pin)``.
+- Connectivity is bidirectional: instances know their pin->net bindings
+  and nets know every (instance, pin) attached to them, so both forward
+  and backward traversals are O(fanout).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class PortDirection(Enum):
+    """Direction of a module port or cell pin."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+_BUS_RE = re.compile(r"^(?P<base>.+)\[(?P<index>\d+)\]$")
+
+
+def bus_base(net_name: str) -> Optional[str]:
+    """Return the bus base name of ``net_name`` or ``None`` if scalar.
+
+    ``bus_base("data[3]") == "data"`` while ``bus_base("data_3") is None``:
+    per the paper, by-name bus grouping is only possible when the synthesis
+    tool has *not* collapsed ``bus[n]`` into ``bus_n`` names.
+    """
+    match = _BUS_RE.match(net_name)
+    if match is None:
+        return None
+    return match.group("base")
+
+
+def bus_index(net_name: str) -> Optional[int]:
+    """Return the bit index of a bus member net name, or ``None``."""
+    match = _BUS_RE.match(net_name)
+    if match is None:
+        return None
+    return int(match.group("index"))
+
+
+@dataclass(frozen=True)
+class PinRef:
+    """A reference to one pin of one instance (or a top-level port).
+
+    ``instance`` is ``None`` for module port pins, in which case ``pin``
+    is the port (bit) name.
+    """
+
+    instance: Optional[str]
+    pin: str
+
+    def __str__(self) -> str:
+        if self.instance is None:
+            return f"<port {self.pin}>"
+        return f"{self.instance}.{self.pin}"
+
+
+@dataclass
+class Port:
+    """A module port.  Vector ports expand to per-bit nets ``name[i]``."""
+
+    name: str
+    direction: PortDirection
+    msb: Optional[int] = None
+    lsb: Optional[int] = None
+
+    @property
+    def is_vector(self) -> bool:
+        return self.msb is not None
+
+    @property
+    def width(self) -> int:
+        if self.msb is None or self.lsb is None:
+            return 1
+        return abs(self.msb - self.lsb) + 1
+
+    def bit_names(self) -> List[str]:
+        """Names of the nets this port binds to, MSB first for vectors."""
+        if not self.is_vector:
+            return [self.name]
+        step = -1 if self.msb >= self.lsb else 1
+        stop = self.lsb + step
+        return [f"{self.name}[{i}]" for i in range(self.msb, stop, step)]
+
+
+class Net:
+    """A single-bit net with bidirectional connectivity."""
+
+    __slots__ = ("name", "connections", "is_constant", "constant_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.connections: List[PinRef] = []
+        self.is_constant = False
+        self.constant_value: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"Net({self.name!r}, {len(self.connections)} pins)"
+
+
+class Instance:
+    """One cell (or submodule) instantiation inside a module."""
+
+    __slots__ = ("name", "cell", "pins", "attributes")
+
+    def __init__(self, name: str, cell: str):
+        self.name = name
+        self.cell = cell
+        #: pin name -> net name
+        self.pins: Dict[str, str] = {}
+        #: free-form annotations (e.g. ``size_only``, region id, dont_touch)
+        self.attributes: Dict[str, object] = {}
+
+    def __repr__(self) -> str:
+        return f"Instance({self.name!r}, cell={self.cell!r})"
+
+
+class NetlistError(Exception):
+    """Raised on inconsistent netlist operations."""
+
+
+class Module:
+    """A flat module: ports, nets and instances plus rewrite helpers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+        self.nets: Dict[str, Net] = {}
+        self.instances: Dict[str, Instance] = {}
+        #: ``assign lhs = rhs`` aliases kept verbatim until cleanup
+        self.assigns: List[Tuple[str, str]] = []
+        #: free-form module annotations (port order, region map, ...)
+        self.attributes: Dict[str, object] = {}
+        self._uid = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_port(
+        self,
+        name: str,
+        direction: PortDirection,
+        msb: Optional[int] = None,
+        lsb: Optional[int] = None,
+    ) -> Port:
+        if name in self.ports:
+            raise NetlistError(f"duplicate port {name!r} in module {self.name!r}")
+        port = Port(name, direction, msb, lsb)
+        self.ports[name] = port
+        for bit in port.bit_names():
+            net = self.ensure_net(bit)
+            net.connections.append(PinRef(None, bit))
+        return port
+
+    def ensure_net(self, name: str) -> Net:
+        """Return the net called ``name``, creating it if missing."""
+        net = self.nets.get(name)
+        if net is None:
+            net = Net(name)
+            self.nets[name] = net
+        return net
+
+    def add_net(self, name: str) -> Net:
+        if name in self.nets:
+            raise NetlistError(f"duplicate net {name!r} in module {self.name!r}")
+        return self.ensure_net(name)
+
+    def constant_net(self, value: int) -> Net:
+        """Return (creating on demand) the shared tie-low / tie-high net."""
+        name = f"__const{int(bool(value))}__"
+        net = self.ensure_net(name)
+        net.is_constant = True
+        net.constant_value = int(bool(value))
+        return net
+
+    def add_instance(
+        self, name: str, cell: str, pins: Optional[Dict[str, str]] = None
+    ) -> Instance:
+        if name in self.instances:
+            raise NetlistError(f"duplicate instance {name!r} in {self.name!r}")
+        inst = Instance(name, cell)
+        self.instances[name] = inst
+        if pins:
+            for pin, net in pins.items():
+                self.connect(name, pin, net)
+        return inst
+
+    def new_name(self, prefix: str) -> str:
+        """Generate a fresh instance/net name with the given prefix."""
+        while True:
+            self._uid += 1
+            candidate = f"{prefix}_{self._uid}"
+            if candidate not in self.instances and candidate not in self.nets:
+                return candidate
+
+    # ------------------------------------------------------------------
+    # connectivity editing
+    # ------------------------------------------------------------------
+    def connect(self, instance: str, pin: str, net_name: str) -> None:
+        """Bind ``instance.pin`` to ``net_name`` (creating the net)."""
+        inst = self.instances[instance]
+        if pin in inst.pins:
+            self.disconnect(instance, pin)
+        net = self.ensure_net(net_name)
+        inst.pins[pin] = net_name
+        net.connections.append(PinRef(instance, pin))
+
+    def disconnect(self, instance: str, pin: str) -> None:
+        inst = self.instances[instance]
+        net_name = inst.pins.pop(pin, None)
+        if net_name is None:
+            return
+        net = self.nets.get(net_name)
+        if net is not None:
+            ref = PinRef(instance, pin)
+            net.connections = [c for c in net.connections if c != ref]
+
+    def remove_instance(self, name: str) -> None:
+        inst = self.instances.get(name)
+        if inst is None:
+            return
+        for pin in list(inst.pins):
+            self.disconnect(name, pin)
+        del self.instances[name]
+
+    def remove_net(self, name: str) -> None:
+        net = self.nets.get(name)
+        if net is None:
+            return
+        if net.connections:
+            raise NetlistError(f"net {name!r} still has connections")
+        del self.nets[name]
+
+    def rename_net(self, old: str, new: str) -> None:
+        """Rename a net, rewriting every pin binding that references it."""
+        if old == new:
+            return
+        if new in self.nets:
+            raise NetlistError(f"net {new!r} already exists")
+        net = self.nets.pop(old)
+        net.name = new
+        self.nets[new] = net
+        for ref in net.connections:
+            if ref.instance is not None:
+                self.instances[ref.instance].pins[ref.pin] = new
+
+    def merge_nets(self, keep: str, remove: str) -> None:
+        """Merge net ``remove`` into ``keep`` (alias collapsing)."""
+        if keep == remove:
+            return
+        kept = self.ensure_net(keep)
+        gone = self.nets.get(remove)
+        if gone is None:
+            return
+        for ref in list(gone.connections):
+            if ref.instance is None:
+                # A port bit cannot be renamed away; callers must keep the
+                # port-side name instead (handled by cleanup.resolve_assigns).
+                raise NetlistError(
+                    f"cannot merge port net {remove!r} into {keep!r}"
+                )
+            inst = self.instances[ref.instance]
+            inst.pins[ref.pin] = keep
+            kept.connections.append(PinRef(ref.instance, ref.pin))
+        gone.connections = []
+        del self.nets[remove]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def port_bits(self, direction: Optional[PortDirection] = None) -> List[str]:
+        bits: List[str] = []
+        for port in self.ports.values():
+            if direction is None or port.direction == direction:
+                bits.extend(port.bit_names())
+        return bits
+
+    def net_of(self, instance: str, pin: str) -> Optional[str]:
+        return self.instances[instance].pins.get(pin)
+
+    def instances_of(self, cells: Iterable[str]) -> Iterator[Instance]:
+        wanted = set(cells)
+        for inst in self.instances.values():
+            if inst.cell in wanted:
+                yield inst
+
+    def stats(self) -> Dict[str, int]:
+        """Basic size statistics: instance and net counts."""
+        return {"cells": len(self.instances), "nets": len(self.nets)}
+
+    def check(self) -> List[str]:
+        """Return a list of consistency problems (empty when clean)."""
+        problems: List[str] = []
+        for inst in self.instances.values():
+            for pin, net_name in inst.pins.items():
+                net = self.nets.get(net_name)
+                if net is None:
+                    problems.append(f"{inst.name}.{pin} -> missing net {net_name}")
+                elif PinRef(inst.name, pin) not in net.connections:
+                    problems.append(f"{inst.name}.{pin} not on net {net_name}")
+        for net in self.nets.values():
+            for ref in net.connections:
+                if ref.instance is None:
+                    continue
+                inst = self.instances.get(ref.instance)
+                if inst is None:
+                    problems.append(f"net {net.name} -> missing inst {ref.instance}")
+                elif inst.pins.get(ref.pin) != net.name:
+                    problems.append(
+                        f"net {net.name} lists {ref} but pin bound elsewhere"
+                    )
+        return problems
+
+    def clone(self, name: Optional[str] = None) -> "Module":
+        """Deep copy of the module (instances, nets, ports, attributes)."""
+        out = Module(name or self.name)
+        for port in self.ports.values():
+            out.ports[port.name] = Port(
+                port.name, port.direction, port.msb, port.lsb
+            )
+        for net in self.nets.values():
+            copy_net = Net(net.name)
+            copy_net.connections = list(net.connections)
+            copy_net.is_constant = net.is_constant
+            copy_net.constant_value = net.constant_value
+            out.nets[net.name] = copy_net
+        for inst in self.instances.values():
+            copy_inst = Instance(inst.name, inst.cell)
+            copy_inst.pins = dict(inst.pins)
+            copy_inst.attributes = dict(inst.attributes)
+            out.instances[inst.name] = copy_inst
+        out.assigns = list(self.assigns)
+        out.attributes = {
+            key: dict(value) if isinstance(value, dict) else value
+            for key, value in self.attributes.items()
+        }
+        out._uid = self._uid
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, {len(self.instances)} cells, "
+            f"{len(self.nets)} nets)"
+        )
+
+
+class Netlist:
+    """A design: a set of modules plus the name of the top module."""
+
+    def __init__(self, top: Optional[str] = None):
+        self.modules: Dict[str, Module] = {}
+        self._top = top
+
+    def add_module(self, module: Module) -> Module:
+        if module.name in self.modules:
+            raise NetlistError(f"duplicate module {module.name!r}")
+        self.modules[module.name] = module
+        if self._top is None:
+            self._top = module.name
+        return module
+
+    @property
+    def top(self) -> Module:
+        if self._top is None or self._top not in self.modules:
+            raise NetlistError("netlist has no top module")
+        return self.modules[self._top]
+
+    def set_top(self, name: str) -> None:
+        if name not in self.modules:
+            raise NetlistError(f"unknown module {name!r}")
+        self._top = name
+
+    def __repr__(self) -> str:
+        return f"Netlist(top={self._top!r}, {len(self.modules)} modules)"
+
+
+def driver_of(
+    module: Module, net_name: str, cell_info: "CellInfoProvider"
+) -> Optional[PinRef]:
+    """Return the pin driving ``net_name`` (an output pin or input port)."""
+    net = module.nets.get(net_name)
+    if net is None:
+        return None
+    for ref in net.connections:
+        if ref.instance is None:
+            port = module.ports.get(_port_of_bit(ref.pin))
+            if port is not None and port.direction == PortDirection.INPUT:
+                return ref
+            continue
+        inst = module.instances[ref.instance]
+        direction = cell_info.pin_direction(inst.cell, ref.pin)
+        if direction == PortDirection.OUTPUT:
+            return ref
+    return None
+
+
+def sinks_of(
+    module: Module, net_name: str, cell_info: "CellInfoProvider"
+) -> List[PinRef]:
+    """Return every pin reading ``net_name`` (input pins / output ports)."""
+    net = module.nets.get(net_name)
+    if net is None:
+        return []
+    out: List[PinRef] = []
+    for ref in net.connections:
+        if ref.instance is None:
+            port = module.ports.get(_port_of_bit(ref.pin))
+            if port is not None and port.direction == PortDirection.OUTPUT:
+                out.append(ref)
+            continue
+        inst = module.instances[ref.instance]
+        direction = cell_info.pin_direction(inst.cell, ref.pin)
+        if direction == PortDirection.INPUT:
+            out.append(ref)
+    return out
+
+
+def _port_of_bit(bit_name: str) -> str:
+    base = bus_base(bit_name)
+    return base if base is not None else bit_name
+
+
+class CellInfoProvider:
+    """Protocol for objects that know cell pin directions.
+
+    The gatefile (:mod:`repro.liberty.gatefile`) is the canonical
+    implementation; tests use small dict-backed stand-ins.
+    """
+
+    def pin_direction(self, cell: str, pin: str) -> PortDirection:
+        raise NotImplementedError

@@ -1,0 +1,47 @@
+"""Physical design model: placement, routing, CTS, backend flow."""
+
+from .placement import (
+    Placement,
+    ROW_HEIGHT,
+    improve_placement,
+    net_hpwl,
+    place,
+    total_wirelength,
+)
+from .routing import RoutingResult, congestion_estimate, route
+from .cts import ClockTree, CtsResult, enable_nets_of, run_cts, synthesize_tree
+from .floorplan import (
+    ProximityReport,
+    apply_floorplan_constraints,
+    delay_element_proximity,
+)
+from .backend import (
+    BackendResult,
+    LayoutReport,
+    in_place_optimize,
+    run_backend,
+)
+
+__all__ = [
+    "BackendResult",
+    "ProximityReport",
+    "apply_floorplan_constraints",
+    "delay_element_proximity",
+    "ClockTree",
+    "CtsResult",
+    "LayoutReport",
+    "Placement",
+    "ROW_HEIGHT",
+    "RoutingResult",
+    "congestion_estimate",
+    "enable_nets_of",
+    "improve_placement",
+    "in_place_optimize",
+    "net_hpwl",
+    "place",
+    "route",
+    "run_backend",
+    "run_cts",
+    "synthesize_tree",
+    "total_wirelength",
+]

@@ -1,0 +1,104 @@
+"""Floorplanning support for delay-element placement (future work, ch. 6).
+
+"Floorplanning constraints can be given to the backend tools to control
+the placement of the delay elements.  Making the tools place them close
+to the logic they match, more variability correlation is achieved."
+
+The placer already clusters cells by their ``region`` attribute; this
+module adds the measurement and the constraint:
+
+- :func:`delay_element_proximity` reports, per region, the mean distance
+  between the delay-element cells and the centroid of the logic they
+  model -- the proxy for intra-die tracking correlation;
+- :func:`apply_floorplan_constraints` pins each element's cells onto its
+  region's centroid band before a placement refinement pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.core import Module
+from .placement import Placement
+
+
+@dataclass
+class ProximityReport:
+    #: region -> (mean delay-cell distance to region centroid, spread)
+    per_region: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_distance(self) -> float:
+        if not self.per_region:
+            return 0.0
+        return sum(self.per_region.values()) / len(self.per_region)
+
+
+def _region_centroids(
+    module: Module, placement: Placement
+) -> Dict[str, Tuple[float, float, int]]:
+    sums: Dict[str, Tuple[float, float, int]] = {}
+    for name, inst in module.instances.items():
+        region = inst.attributes.get("region")
+        if region is None or inst.attributes.get("role") in (
+            "delay_element",
+            "cmuller",
+        ):
+            continue
+        location = placement.locations.get(name)
+        if location is None:
+            continue
+        x, y, count = sums.get(region, (0.0, 0.0, 0))
+        sums[region] = (x + location[0], y + location[1], count + 1)
+    return sums
+
+
+def delay_element_proximity(
+    module: Module, placement: Placement, network
+) -> ProximityReport:
+    """Mean distance of each region's delay-element cells to its logic."""
+    centroids = _region_centroids(module, placement)
+    report = ProximityReport()
+    for region, element in network.delay_elements.items():
+        sums = centroids.get(region)
+        if sums is None or sums[2] == 0:
+            continue
+        cx, cy = sums[0] / sums[2], sums[1] / sums[2]
+        distances = []
+        for name in element.instances:
+            location = placement.locations.get(name)
+            if location is None:
+                continue
+            distances.append(math.hypot(location[0] - cx, location[1] - cy))
+        if distances:
+            report.per_region[region] = sum(distances) / len(distances)
+    return report
+
+
+def apply_floorplan_constraints(
+    module: Module, placement: Placement, network
+) -> int:
+    """Snap delay-element cells next to their region's centroid.
+
+    A lightweight legalisation stands in for real region constraints:
+    element cells are re-placed on a compact strip centred on the
+    region centroid (clamped to the core).  Returns cells moved.
+    """
+    centroids = _region_centroids(module, placement)
+    moved = 0
+    for region, element in network.delay_elements.items():
+        sums = centroids.get(region)
+        if sums is None or sums[2] == 0:
+            continue
+        cx, cy = sums[0] / sums[2], sums[1] / sums[2]
+        for index, name in enumerate(element.instances):
+            if name not in placement.locations:
+                continue
+            offset = (index - len(element.instances) / 2.0) * 1.2
+            x = min(max(cx + offset, 0.0), placement.core_width)
+            y = min(max(cy, 0.0), placement.core_height)
+            placement.locations[name] = (x, y)
+            moved += 1
+    return moved

@@ -1,0 +1,67 @@
+"""Routing estimation and parasitic annotation.
+
+From a placement, each net gets a routed-length estimate (HPWL times a
+Steiner detour factor growing with pin count), from which wire
+capacitance and Elmore-style wire delay are derived.  The results are
+annotated onto the module (``net_wire_cap`` / ``net_wire_delay``
+attributes) so STA and simulation naturally become layout-aware --
+the "full parasitic extraction" of section 4.8, at model fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..netlist.core import Module
+from .placement import Placement, net_hpwl
+
+#: 90nm-class unit parasitics
+WIRE_CAP_PER_UM = 0.00020  # pF/um
+WIRE_RES_PER_UM = 0.40  # ohm/um  (kohm*pF -> ns works out with /1000)
+
+
+@dataclass
+class RoutingResult:
+    net_lengths: Dict[str, float] = field(default_factory=dict)
+    net_caps: Dict[str, float] = field(default_factory=dict)
+    net_delays: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_wirelength(self) -> float:
+        return sum(self.net_lengths.values())
+
+
+def _detour_factor(pin_count: int) -> float:
+    """Steiner-tree detour over HPWL, growing gently with pins."""
+    if pin_count <= 3:
+        return 1.0
+    return 1.0 + 0.15 * (pin_count - 3) ** 0.5
+
+
+def route(module: Module, placement: Placement) -> RoutingResult:
+    """Estimate lengths/parasitics for every net and annotate the module."""
+    result = RoutingResult()
+    for net_name, net in module.nets.items():
+        pins = sum(1 for ref in net.connections if ref.instance is not None)
+        length = net_hpwl(module, placement, net_name) * _detour_factor(pins)
+        cap = length * WIRE_CAP_PER_UM
+        # Elmore: half of distributed R times distributed C, in ns
+        delay = 0.5 * (length * WIRE_RES_PER_UM) * cap / 1000.0
+        result.net_lengths[net_name] = length
+        result.net_caps[net_name] = cap
+        result.net_delays[net_name] = delay
+    module.attributes["net_wire_cap"] = dict(result.net_caps)
+    module.attributes["net_wire_delay"] = dict(result.net_delays)
+    return result
+
+
+def congestion_estimate(
+    module: Module, placement: Placement, routing: RoutingResult
+) -> float:
+    """Routing demand per core area; >1.0 suggests utilization must drop."""
+    if placement.core_area == 0:
+        return 0.0
+    # ~8 routing tracks per um of core in each direction at 90nm
+    capacity = placement.core_area * 8.0
+    return routing.total_wirelength / max(capacity, 1e-9)

@@ -1,0 +1,15 @@
+"""Power estimation from simulated switching activity."""
+
+from .estimate import (
+    ActivityProfile,
+    PowerReport,
+    activity_from_simulation,
+    estimate_power,
+)
+
+__all__ = [
+    "ActivityProfile",
+    "PowerReport",
+    "activity_from_simulation",
+    "estimate_power",
+]

@@ -1,0 +1,32 @@
+"""Event-driven simulation, testbenches and flow-equivalence checking."""
+
+from .simulator import CaptureEvent, SimulationError, Simulator, Value
+from .testbench import (
+    HandshakeResult,
+    HandshakeTestbench,
+    StimulusFn,
+    SyncTestbench,
+    initialize_registers,
+)
+from .flowequiv import (
+    FlowEquivalenceReport,
+    check_flow_equivalence,
+    run_desynchronized,
+    run_synchronous,
+)
+
+__all__ = [
+    "CaptureEvent",
+    "FlowEquivalenceReport",
+    "HandshakeResult",
+    "HandshakeTestbench",
+    "SimulationError",
+    "Simulator",
+    "StimulusFn",
+    "SyncTestbench",
+    "Value",
+    "check_flow_equivalence",
+    "initialize_registers",
+    "run_desynchronized",
+    "run_synchronous",
+]

@@ -1,0 +1,228 @@
+"""Gate-level flow-equivalence validation (sections 2.1, 4.8).
+
+Desynchronization preserves *flow-equivalence*: every sequential element
+of the desynchronized circuit stores exactly the data sequence of its
+synchronous counterpart.  This module checks the property empirically:
+it simulates the synchronous design under a clocked testbench and the
+desynchronized design under the handshake environment, then compares,
+flip-flop by flip-flop, the captured sequence of the flip-flop against
+the captured sequence of its slave latch (named ``<ff>_ls`` by the
+substitution pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..desync.tool import DesyncResult
+from ..liberty.model import Library
+from ..netlist.core import Module
+from .simulator import Simulator, Value
+from .testbench import (
+    HandshakeTestbench,
+    StimulusFn,
+    SyncTestbench,
+    initialize_registers,
+)
+
+
+@dataclass
+class FlowEquivalenceReport:
+    """Outcome of one sync-vs-desync data-sequence comparison."""
+
+    compared: int = 0
+    cycles: int = 0
+    mismatches: List[str] = field(default_factory=list)
+    sync_sequences: Dict[str, List[Value]] = field(default_factory=dict)
+    desync_sequences: Dict[str, List[Value]] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        return self.compared > 0 and not self.mismatches
+
+
+def run_synchronous(
+    module: Module,
+    library: Library,
+    cycles: int,
+    stimulus: Optional[StimulusFn] = None,
+    clock: str = "clk",
+    period: Optional[float] = None,
+    corner: str = "worst",
+) -> Simulator:
+    """Clocked reference run with all registers initialised to zero."""
+    from ..sta.analysis import min_clock_period
+
+    if period is None:
+        period = min_clock_period(module, library, corner) * 1.5 + 0.5
+    simulator = Simulator(module, library, corner)
+    initialize_registers(simulator, 0)
+    bench = SyncTestbench(simulator, clock=clock, period=period)
+    bench.run_cycles(cycles, stimulus)
+    return simulator
+
+
+def run_desynchronized(
+    result: DesyncResult,
+    library: Library,
+    items: int,
+    stimulus: Optional[StimulusFn] = None,
+    corner: str = "worst",
+    free_run_time: Optional[float] = None,
+) -> Tuple[Simulator, HandshakeTestbench]:
+    """Handshake run of a desynchronized design, zero-initialised."""
+    simulator = Simulator(result.module, library, corner)
+    bench = HandshakeTestbench(
+        simulator, result.network.env_ports, result.network.reset_net
+    )
+    initial = stimulus(0) if stimulus is not None else None
+    bench.apply_reset(0, initial_inputs=initial)
+    has_inputs = any("ri" in p for p in result.network.env_ports.values())
+    if has_inputs:
+        bench.run_items(max(items - 1, 0), stimulus, first_item=1)
+    else:
+        bench.run_free(free_run_time if free_run_time is not None else 500.0)
+    return simulator, bench
+
+
+def check_flow_equivalence_reactive(
+    sync_module: Module,
+    desync_result: DesyncResult,
+    library: Library,
+    cycles: int,
+    respond_factory,
+    clock: str = "clk",
+    corner: str = "worst",
+) -> FlowEquivalenceReport:
+    """Flow-equivalence with a *reactive* environment (e.g. memories).
+
+    ``respond_factory(simulator)`` must return a fresh
+    ``respond(item, outputs_snapshot) -> inputs`` function with its own
+    state per run.  The synchronous run evaluates it on live outputs
+    each cycle; the desynchronized run goes through
+    :class:`repro.sim.reactive.ReactiveEnvironment` so output snapshots
+    stay item-aligned even when regions run ahead of each other.
+    """
+    from ..sta.analysis import min_clock_period
+    from .reactive import ReactiveEnvironment
+
+    report = FlowEquivalenceReport(cycles=cycles)
+
+    period = min_clock_period(sync_module, library, corner) * 1.5 + 0.5
+    sync_sim = Simulator(sync_module, library, corner)
+    sync_respond = respond_factory(sync_sim)
+    output_bits = sync_module.port_bits()
+
+    def sync_stimulus(cycle: int):
+        snapshot = {
+            bit: sync_sim.net_values.get(bit) for bit in output_bits
+        }
+        return sync_respond(cycle, snapshot)
+
+    initialize_registers(sync_sim, 0)
+    bench = SyncTestbench(sync_sim, clock=clock, period=period)
+    bench.run_cycles(cycles, sync_stimulus)
+    sync_sequences = sync_sim.capture_sequences()
+
+    desync_sim = Simulator(desync_result.module, library, corner)
+    desync_respond = respond_factory(desync_sim)
+    env = ReactiveEnvironment.attach(desync_sim, desync_result, desync_respond)
+    env.reset(0)
+    env.run_items(cycles)
+    desync_sequences = desync_sim.capture_sequences()
+
+    _compare_sequences(report, sync_sequences, desync_sequences, desync_sim)
+    return report
+
+
+def check_flow_equivalence(
+    sync_module: Module,
+    desync_result: DesyncResult,
+    library: Library,
+    cycles: int,
+    stimulus: Optional[StimulusFn] = None,
+    clock: str = "clk",
+    corner: str = "worst",
+    stimulus_factory=None,
+) -> FlowEquivalenceReport:
+    """Compare FF capture sequences against slave-latch capture sequences.
+
+    ``sync_module`` must be the design *before* desynchronization (the
+    caller keeps a clone).  The same ``stimulus`` drives cycle ``k`` of
+    the synchronous run and item ``k`` of the handshake run.
+
+    ``stimulus_factory`` supports *reactive* environments (e.g. the DLX
+    memories): it is called once per run with that run's simulator and
+    must return the stimulus closure -- which may read the simulator's
+    current outputs when producing the next inputs.
+    """
+    report = FlowEquivalenceReport(cycles=cycles)
+
+    if stimulus_factory is not None:
+        from ..sta.analysis import min_clock_period
+
+        period = min_clock_period(sync_module, library, corner) * 1.5 + 0.5
+        sync_sim = Simulator(sync_module, library, corner)
+        sync_stimulus = stimulus_factory(sync_sim)
+        initialize_registers(sync_sim, 0)
+        bench = SyncTestbench(sync_sim, clock=clock, period=period)
+        bench.run_cycles(cycles, sync_stimulus)
+        sync_sequences = sync_sim.capture_sequences()
+
+        desync_sim = Simulator(desync_result.module, library, corner)
+        desync_stimulus = stimulus_factory(desync_sim)
+        hs_bench = HandshakeTestbench(
+            desync_sim,
+            desync_result.network.env_ports,
+            desync_result.network.reset_net,
+        )
+        hs_bench.apply_reset(0, initial_inputs=desync_stimulus(0))
+        hs_bench.run_items(max(cycles - 1, 0), desync_stimulus, first_item=1)
+        desync_sequences = desync_sim.capture_sequences()
+    else:
+        sync_sim = run_synchronous(
+            sync_module, library, cycles, stimulus, clock=clock, corner=corner
+        )
+        sync_sequences = sync_sim.capture_sequences()
+
+        desync_sim, _bench = run_desynchronized(
+            desync_result, library, cycles, stimulus, corner=corner
+        )
+        desync_sequences = desync_sim.capture_sequences()
+
+    _compare_sequences(report, sync_sequences, desync_sequences, desync_sim)
+    return report
+
+
+def _compare_sequences(
+    report: FlowEquivalenceReport,
+    sync_sequences: Dict[str, List[Value]],
+    desync_sequences: Dict[str, List[Value]],
+    desync_sim: Simulator,
+) -> None:
+    for ff_name, sync_seq in sorted(sync_sequences.items()):
+        slave_name = f"{ff_name}_ls"
+        if slave_name not in desync_sim._models:
+            continue  # e.g. a flip-flop outside the desynchronized scope
+        desync_seq = desync_sequences.get(slave_name, [])
+        length = min(len(sync_seq), len(desync_seq))
+        if length == 0:
+            report.mismatches.append(
+                f"{ff_name}: no comparable captures "
+                f"(sync={len(sync_seq)}, desync={len(desync_seq)})"
+            )
+            continue
+        report.compared += 1
+        report.sync_sequences[ff_name] = sync_seq[:length]
+        report.desync_sequences[ff_name] = desync_seq[:length]
+        if sync_seq[:length] != desync_seq[:length]:
+            first_bad = next(
+                i
+                for i in range(length)
+                if sync_seq[i] != desync_seq[i]
+            )
+            report.mismatches.append(
+                f"{ff_name}: diverges at capture {first_bad}: "
+                f"sync={sync_seq[:length]} desync={desync_seq[:length]}"
+            )

@@ -1,0 +1,359 @@
+"""Event-driven gate-level simulator with per-arc timing.
+
+Simulates a flat module against a technology library using 3-valued
+logic (0 / 1 / X).  Sequential cells follow their liberty ``ff`` /
+``latch`` groups: flip-flops capture on the rising edge of their clock
+expression, latches are transparent while their enable expression is
+true and *capture on the closing edge* -- the event the flow-equivalence
+checker records.  Combinational cells with feedback (C-elements, the
+controller complex gate) work naturally because output pins may appear
+in their own functions and feedback nets re-trigger evaluation.
+
+Delays come from the liberty linear model at a chosen corner, so the
+same netlist can be simulated at best case, worst case, or with a
+Monte-Carlo instance-level derate map (variability experiments).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..liberty.functions import compile_function
+from ..liberty.model import CellKind, Library
+from ..netlist.core import Module, PortDirection
+from ..sta.graph import compute_net_loads
+
+Value = Optional[int]
+
+
+@dataclass
+class CaptureEvent:
+    """A sequential element storing a datum (FF clock edge / latch close)."""
+
+    time: float
+    instance: str
+    value: Value
+
+
+class _CellModel:
+    """Pre-compiled behaviour of one instance."""
+
+    __slots__ = (
+        "name",
+        "cell",
+        "kind",
+        "pin_nets",
+        "output_fns",
+        "output_delays",
+        "seq_next",
+        "seq_clock",
+        "seq_clear",
+        "seq_preset",
+        "state_pin",
+        "state",
+        "prev_clock",
+        "is_ff",
+        "is_latch",
+        "scheduled",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.state: Value = None
+        self.prev_clock: Value = None
+        #: last value scheduled per output pin (transport-delay model:
+        #: comparing against the *current* net value would silently drop
+        #: a change that reconverges while an earlier event is in flight)
+        self.scheduled: Dict[str, Value] = {}
+
+
+class SimulationError(Exception):
+    """Raised for unusable simulation setups."""
+
+
+class Simulator:
+    """Event-driven simulator for one module."""
+
+    def __init__(
+        self,
+        module: Module,
+        library: Library,
+        corner: str = "worst",
+        derate_map: Optional[Dict[str, float]] = None,
+        timing: bool = True,
+    ):
+        self.module = module
+        self.library = library
+        self.corner = corner
+        self.timing = timing
+        self.now = 0.0
+        self._seq = 0
+        self._queue: List[Tuple[float, int, str, Value]] = []
+        self.net_values: Dict[str, Value] = {}
+        self._fanout: Dict[str, List[_CellModel]] = defaultdict(list)
+        self._models: Dict[str, _CellModel] = {}
+        self.captures: List[CaptureEvent] = []
+        self.toggle_counts: Dict[str, int] = defaultdict(int)
+        #: nets pinned to a value (stuck-at fault injection)
+        self.forced_nets: Dict[str, Value] = {}
+        self._watchers: List[Callable[[float, str, Value], None]] = []
+        self._capture_watchers: List[Callable[[CaptureEvent], None]] = []
+
+        derate = library.corner(corner).derate
+        loads = compute_net_loads(module, library)
+        derate_map = derate_map or {}
+
+        for net_name, net in module.nets.items():
+            if net.is_constant:
+                self.net_values[net_name] = net.constant_value
+            else:
+                self.net_values[net_name] = None
+
+        for inst in module.instances.values():
+            cell = library.cells.get(inst.cell)
+            if cell is None:
+                raise SimulationError(
+                    f"cell {inst.cell!r} of {inst.name!r} not in library"
+                )
+            model = _CellModel(inst.name)
+            model.cell = cell
+            model.kind = cell.kind
+            model.pin_nets = dict(inst.pins)
+            model.is_ff = cell.kind == CellKind.FLIP_FLOP
+            model.is_latch = cell.kind == CellKind.LATCH
+            model.output_fns = {}
+            model.output_delays = {}
+            local_derate = derate * derate_map.get(inst.name, 1.0)
+            for pin in cell.output_pins():
+                net = inst.pins.get(pin)
+                if net is None:
+                    continue
+                function = cell.pins[pin].function
+                if function is not None:
+                    model.output_fns[pin] = compile_function(function)
+                arcs = [a for a in cell.arcs_to(pin) if not a.timing_type.startswith(("setup", "hold"))]
+                load = loads.get(net, 0.0)
+                if arcs and timing:
+                    delay = max(a.worst_delay(load) for a in arcs)
+                else:
+                    delay = 0.001 if timing else 0.0
+                model.output_delays[pin] = delay * local_derate
+            seq = cell.sequential
+            if seq is not None:
+                model.seq_next = (
+                    compile_function(seq.next_state) if seq.next_state else None
+                )
+                model.seq_clock = (
+                    compile_function(seq.clocked_on) if seq.clocked_on else None
+                )
+                model.seq_clear = (
+                    compile_function(seq.clear) if seq.clear else None
+                )
+                model.seq_preset = (
+                    compile_function(seq.preset) if seq.preset else None
+                )
+                model.state_pin = seq.state_pin
+            else:
+                model.seq_next = model.seq_clock = None
+                model.seq_clear = model.seq_preset = None
+                model.state_pin = "IQ"
+            self._models[inst.name] = model
+            for pin in cell.input_pins():
+                net = inst.pins.get(pin)
+                if net is not None:
+                    self._fanout[net].append(model)
+
+    # ------------------------------------------------------------------
+    # observation hooks
+    # ------------------------------------------------------------------
+    def watch_nets(self, callback: Callable[[float, str, Value], None]) -> None:
+        self._watchers.append(callback)
+
+    def watch_captures(self, callback: Callable[[CaptureEvent], None]) -> None:
+        self._capture_watchers.append(callback)
+
+    # ------------------------------------------------------------------
+    # state setup
+    # ------------------------------------------------------------------
+    def set_state(self, instance: str, value: Value) -> None:
+        """Force the internal state of a sequential element (reset init)."""
+        model = self._models[instance]
+        if not (model.is_ff or model.is_latch):
+            raise SimulationError(f"{instance!r} is not sequential")
+        model.state = value
+        self._drive_outputs(model, immediate=True)
+
+    def set_input(self, port_bit: str, value: Value, at: Optional[float] = None) -> None:
+        """Schedule a primary-input change (default: now)."""
+        self._schedule(at if at is not None else self.now, port_bit, value)
+
+    def force_net(self, net: str, value: Value) -> None:
+        """Pin a net to a value (stuck-at fault injection for ATPG)."""
+        self.forced_nets[net] = value
+        self.net_values[net] = value
+        for model in self._fanout.get(net, ()):
+            self._evaluate(model)
+
+    def release_net(self, net: str) -> None:
+        self.forced_nets.pop(net, None)
+
+    def value(self, net: str) -> Value:
+        return self.net_values[net]
+
+    def bus_value(self, bits: List[str]) -> Optional[int]:
+        """Integer value of an LSB-first bit list, None if any bit is X."""
+        out = 0
+        for index, bit in enumerate(bits):
+            value = self.net_values.get(bit)
+            if value is None:
+                return None
+            out |= value << index
+        return out
+
+    # ------------------------------------------------------------------
+    # engine
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, net: str, value: Value) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, net, value))
+
+    def run_until(self, end_time: float, max_events: int = 5_000_000) -> None:
+        """Advance simulation time to ``end_time``."""
+        events = 0
+        while self._queue and self._queue[0][0] <= end_time:
+            time = self._queue[0][0]
+            self.now = time
+            changed: List[str] = []
+            while self._queue and self._queue[0][0] == time:
+                _, _, net, value = heapq.heappop(self._queue)
+                events += 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"event limit exceeded at t={time:.3f} "
+                        "(oscillation or runaway activity)"
+                    )
+                if net in self.forced_nets:
+                    continue
+                if self.net_values.get(net) == value:
+                    continue
+                self.net_values[net] = value
+                if value is not None:
+                    self.toggle_counts[net] += 1
+                for watcher in self._watchers:
+                    watcher(time, net, value)
+                changed.append(net)
+            touched: Dict[str, _CellModel] = {}
+            for net in changed:
+                for model in self._fanout.get(net, ()):
+                    touched[model.name] = model
+            for model in touched.values():
+                self._evaluate(model)
+        self.now = end_time
+
+    def run_for(self, duration: float, **kwargs) -> None:
+        self.run_until(self.now + duration, **kwargs)
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def _pin_env(self, model: _CellModel) -> Dict[str, Value]:
+        env: Dict[str, Value] = {}
+        for pin, net in model.pin_nets.items():
+            env[pin] = self.net_values.get(net)
+        if model.is_ff or model.is_latch:
+            env[model.state_pin] = model.state
+        return env
+
+    def _evaluate(self, model: _CellModel) -> None:
+        env = self._pin_env(model)
+        if model.is_ff:
+            self._evaluate_ff(model, env)
+        elif model.is_latch:
+            self._evaluate_latch(model, env)
+        self._drive_outputs(model)
+
+    def _evaluate_ff(self, model: _CellModel, env: Dict[str, Value]) -> None:
+        # asynchronous clear / preset dominate
+        if model.seq_clear is not None and model.seq_clear(env) == 1:
+            model.state = 0
+        elif model.seq_preset is not None and model.seq_preset(env) == 1:
+            model.state = 1
+        else:
+            clock = model.seq_clock(env) if model.seq_clock else None
+            if model.prev_clock == 0 and clock == 1:
+                model.state = model.seq_next(env) if model.seq_next else None
+                self._record_capture(model)
+            elif clock == 1 and model.prev_clock is None:
+                # unknown -> 1 transition: state becomes unknown
+                model.state = None
+            model.prev_clock = (
+                model.seq_clock(env) if model.seq_clock else None
+            )
+            return
+        self._record_capture(model)
+        if model.seq_clock is not None:
+            model.prev_clock = model.seq_clock(env)
+
+    def _evaluate_latch(self, model: _CellModel, env: Dict[str, Value]) -> None:
+        if model.seq_clear is not None and model.seq_clear(env) == 1:
+            model.state = 0
+            return
+        if model.seq_preset is not None and model.seq_preset(env) == 1:
+            model.state = 1
+            return
+        enable = model.seq_clock(env) if model.seq_clock else 1
+        if enable == 1:
+            model.state = model.seq_next(env) if model.seq_next else None
+        elif enable == 0 and model.prev_clock == 1:
+            # closing edge: the value just latched is the capture
+            self._record_capture(model)
+        elif enable is None:
+            model.state = None
+        model.prev_clock = enable
+
+    def _record_capture(self, model: _CellModel) -> None:
+        event = CaptureEvent(self.now, model.name, model.state)
+        self.captures.append(event)
+        for watcher in self._capture_watchers:
+            watcher(event)
+
+    def _drive_outputs(self, model: _CellModel, immediate: bool = False) -> None:
+        env = self._pin_env(model)
+        for pin, fn in model.output_fns.items():
+            net = model.pin_nets.get(pin)
+            if net is None:
+                continue
+            value = fn(env)
+            last = model.scheduled.get(pin, self.net_values.get(net))
+            if value == last:
+                continue
+            if immediate or not self.timing:
+                delay = 0.0
+            else:
+                delay = model.output_delays.get(pin, 0.0)
+            model.scheduled[pin] = value
+            self._schedule(self.now + delay, net, value)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def settle(self, max_time: float = 1000.0, step: float = 5.0) -> float:
+        """Run until the event queue drains (or ``max_time``)."""
+        start = self.now
+        while self._queue and self.now < start + max_time:
+            self.run_for(step)
+        return self.now
+
+    def capture_sequences(self) -> Dict[str, List[Value]]:
+        """Captured data sequences per sequential instance."""
+        out: Dict[str, List[Value]] = defaultdict(list)
+        for event in self.captures:
+            out[event.instance].append(event.value)
+        return dict(out)
+
+    def total_toggles(self) -> int:
+        return sum(self.toggle_counts.values())

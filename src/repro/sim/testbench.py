@@ -1,0 +1,215 @@
+"""Testbench drivers: synchronous clocked runs and handshake environments.
+
+Section 4.8: "testbenches for the desynchronized versions are almost
+identical to those for the synchronous designs.  The only change needed
+is the replacement of the clock references by corresponding
+request/acknowledge signals" -- which is precisely the difference
+between :class:`SyncTestbench` and :class:`HandshakeTestbench`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..liberty.model import CellKind, Library
+from ..netlist.core import Module
+from .simulator import SimulationError, Simulator, Value
+
+#: per-cycle stimulus: cycle index -> {port bit: value}
+StimulusFn = Callable[[int], Dict[str, Value]]
+
+
+def initialize_registers(
+    simulator: Simulator, value: int = 0, overrides: Optional[Dict[str, int]] = None
+) -> None:
+    """Force every sequential element to a known state (reset modelling)."""
+    overrides = overrides or {}
+    for name, model in simulator._models.items():
+        if model.is_ff or model.is_latch:
+            simulator.set_state(name, overrides.get(name, value))
+
+
+class SyncTestbench:
+    """Drives a clocked design: clock generation plus per-cycle inputs."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        clock: str = "clk",
+        period: float = 4.0,
+    ):
+        self.simulator = simulator
+        self.clock = clock
+        self.period = period
+        self.cycle = 0
+        simulator.set_input(clock, 0)
+
+    def run_cycles(self, n: int, stimulus: Optional[StimulusFn] = None) -> None:
+        """Run ``n`` clock cycles; inputs change shortly after each edge."""
+        sim = self.simulator
+        for _ in range(n):
+            if stimulus is not None:
+                for port, value in stimulus(self.cycle).items():
+                    sim.set_input(port, value, at=sim.now + 0.01 * self.period)
+            sim.run_for(self.period / 2.0)
+            sim.set_input(self.clock, 1)
+            sim.run_for(self.period / 2.0)
+            sim.set_input(self.clock, 0)
+            self.cycle += 1
+        sim.run_for(self.period / 4.0)
+
+
+@dataclass
+class HandshakeResult:
+    items_sent: int = 0
+    items_received: Dict[str, int] = field(default_factory=dict)
+    #: per output region: values of watched buses at each acknowledge
+    output_values: Dict[str, List[Optional[int]]] = field(default_factory=dict)
+
+
+class HandshakeTestbench:
+    """Environment for a desynchronized design's req/ack ports.
+
+    ``env_ports`` comes from ``DesyncResult.network.env_ports``:
+    region -> {"ri": .., "ai": .., "ro": .., "ao": ..} (subsets).
+    The input side presents one data item per 4-phase cycle; the output
+    side acknowledges every request and can sample output buses.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        env_ports: Dict[str, Dict[str, str]],
+        reset_port: str = "rst",
+        timeout: float = 10000.0,
+    ):
+        self.simulator = simulator
+        self.env_ports = env_ports
+        self.reset_port = reset_port
+        self.timeout = timeout
+        self.watch_buses: Dict[str, List[str]] = {}
+        self._in_regions = [r for r, p in env_ports.items() if "ri" in p]
+        self._out_regions = [r for r, p in env_ports.items() if "ao" in p]
+        self.result = HandshakeResult()
+        for region in self._out_regions:
+            self.result.items_received[region] = 0
+            self.result.output_values[region] = []
+
+    # ------------------------------------------------------------------
+    def apply_reset(
+        self,
+        registers_value: int = 0,
+        duration: float = 2.0,
+        overrides: Optional[Dict[str, int]] = None,
+        initial_inputs: Optional[Dict[str, Value]] = None,
+    ) -> None:
+        """Reset the controllers and registers.
+
+        ``initial_inputs`` are the data values present *at* reset
+        release -- like a synchronous testbench applying its first
+        vector before the first clock edge, the masters capture these
+        as item 0 when the reset-high master x elements fire.
+        """
+        sim = self.simulator
+        sim.set_input(self.reset_port, 1)
+        for region in self._in_regions:
+            sim.set_input(self.env_ports[region]["ri"], 0)
+        for region in self._out_regions:
+            sim.set_input(self.env_ports[region]["ao"], 0)
+        sim.run_for(duration)
+        initialize_registers(sim, registers_value, overrides)
+        sim.run_for(duration)
+        # data applied after register init so the transparent masters
+        # (reset = synchronous clock-low state) track it before capture
+        for port, value in (initial_inputs or {}).items():
+            sim.set_input(port, value)
+        sim.run_for(duration)
+        sim.set_input(self.reset_port, 0)
+        sim.run_for(duration)
+
+    # ------------------------------------------------------------------
+    def _service_output_acks(self) -> None:
+        """4-phase responder on every output channel."""
+        sim = self.simulator
+        for region in self._out_regions:
+            ports = self.env_ports[region]
+            request = sim.value(ports["ro"])
+            ack_value = sim.value(ports["ao"])
+            if request == 1 and ack_value != 1:
+                bus = self.watch_buses.get(region)
+                if bus is not None:
+                    self.result.output_values[region].append(
+                        sim.bus_value(bus)
+                    )
+                self.result.items_received[region] += 1
+                sim.set_input(ports["ao"], 1)
+            elif request == 0 and ack_value != 0:
+                sim.set_input(ports["ao"], 0)
+
+    def _step(self, dt: float = 0.5) -> None:
+        self.simulator.run_for(dt)
+        self._service_output_acks()
+
+    def _wait(self, condition: Callable[[], bool], what: str) -> None:
+        start = self.simulator.now
+        while not condition():
+            self._step()
+            if self.simulator.now - start > self.timeout:
+                raise SimulationError(
+                    f"handshake timeout waiting for {what} at t="
+                    f"{self.simulator.now:.1f}"
+                )
+
+    # ------------------------------------------------------------------
+    def run_items(
+        self,
+        n_items: int,
+        stimulus: Optional[StimulusFn] = None,
+        settle: float = 50.0,
+        first_item: int = 1,
+    ) -> HandshakeResult:
+        """Push data items ``first_item .. first_item+n_items-1``.
+
+        Item 0 is captured at reset release (see :meth:`apply_reset`),
+        so the handshake normally starts at item 1.  Data on the input
+        buses only changes once every input acknowledge is low -- the
+        masters have closed on the previous item.
+        """
+        sim = self.simulator
+        for item in range(first_item, first_item + n_items):
+            self._wait(
+                lambda: all(
+                    sim.value(self.env_ports[r]["ai"]) == 0
+                    for r in self._in_regions
+                ),
+                "input acknowledge low before new data",
+            )
+            if stimulus is not None:
+                for port, value in stimulus(item).items():
+                    sim.set_input(port, value)
+                sim.run_for(0.1)
+            for region in self._in_regions:
+                sim.set_input(self.env_ports[region]["ri"], 1)
+            self._wait(
+                lambda: all(
+                    sim.value(self.env_ports[r]["ai"]) == 1
+                    for r in self._in_regions
+                ),
+                "input acknowledge high",
+            )
+            for region in self._in_regions:
+                sim.set_input(self.env_ports[region]["ri"], 0)
+            self.result.items_sent += 1
+        # drain: keep servicing output acks for a while
+        end = sim.now + settle
+        while sim.now < end:
+            self._step()
+        return self.result
+
+    def run_free(self, duration: float) -> HandshakeResult:
+        """Let a design without input channels free-run (counters)."""
+        end = self.simulator.now + duration
+        while self.simulator.now < end:
+            self._step()
+        return self.result

@@ -1,0 +1,67 @@
+"""Static timing analysis: timing graph, propagation, SDC constraints."""
+
+from .graph import (
+    Disable,
+    Node,
+    TimingEdge,
+    TimingGraph,
+    build_timing_graph,
+    compute_net_loads,
+)
+from .analysis import (
+    PathPoint,
+    StaReport,
+    TimingLoopError,
+    analyze,
+    min_clock_period,
+    path_to_text,
+    propagate,
+    region_critical_path,
+)
+from .ssta import (
+    MatchingRow,
+    SstaReport,
+    StatArrival,
+    delay_element_matching,
+    ssta_analyze,
+    ssta_propagate,
+    statistical_max,
+)
+from .sdc import (
+    CreateClock,
+    PathDelay,
+    SdcFile,
+    SetDisableTiming,
+    SetDontTouch,
+    SetSizeOnly,
+)
+
+__all__ = [
+    "CreateClock",
+    "MatchingRow",
+    "SstaReport",
+    "StatArrival",
+    "delay_element_matching",
+    "ssta_analyze",
+    "ssta_propagate",
+    "statistical_max",
+    "Disable",
+    "Node",
+    "PathDelay",
+    "PathPoint",
+    "SdcFile",
+    "SetDisableTiming",
+    "SetDontTouch",
+    "SetSizeOnly",
+    "StaReport",
+    "TimingEdge",
+    "TimingGraph",
+    "TimingLoopError",
+    "analyze",
+    "build_timing_graph",
+    "compute_net_loads",
+    "min_clock_period",
+    "path_to_text",
+    "propagate",
+    "region_critical_path",
+]

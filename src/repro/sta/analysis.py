@@ -1,0 +1,181 @@
+"""Static timing analysis over a :class:`TimingGraph`.
+
+Longest-path (max-delay) analysis by topological propagation, with
+critical-path backtrace, endpoint slack against a clock period, and the
+two derived quantities the flow consumes: per-region combinational
+critical-path delay (delay-element sizing, section 3.2.5) and minimum
+clock period for the synchronous baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..liberty.model import Library
+from ..netlist.core import Module
+from .graph import Disable, Node, TimingGraph, build_timing_graph
+
+
+@dataclass
+class PathPoint:
+    node: Node
+    arrival: float
+
+
+@dataclass
+class StaReport:
+    """Result of one max-delay propagation."""
+
+    arrivals: Dict[Node, float]
+    critical_endpoint: Optional[Node]
+    critical_delay: float
+    path: List[PathPoint] = field(default_factory=list)
+    #: per capture-endpoint required data arrival = period - setup
+    endpoint_slacks: Dict[Node, float] = field(default_factory=dict)
+    broken_edge_count: int = 0
+
+    @property
+    def wns(self) -> float:
+        """Worst negative slack (positive when everything meets timing)."""
+        if not self.endpoint_slacks:
+            return 0.0
+        return min(self.endpoint_slacks.values())
+
+
+class TimingLoopError(Exception):
+    """Raised if propagation cannot order the graph (unbroken cycle)."""
+
+
+def _topological_order(graph: TimingGraph) -> List[Node]:
+    indegree: Dict[Node, int] = {}
+    for node in graph.nodes():
+        indegree.setdefault(node, 0)
+    for edges in graph.adjacency.values():
+        for edge in edges:
+            indegree[edge.dst] = indegree.get(edge.dst, 0) + 1
+    queue = deque(node for node, deg in indegree.items() if deg == 0)
+    order: List[Node] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for edge in graph.adjacency.get(node, ()):
+            indegree[edge.dst] -= 1
+            if indegree[edge.dst] == 0:
+                queue.append(edge.dst)
+    if len(order) != len(indegree):
+        raise TimingLoopError(
+            f"timing graph has {len(indegree) - len(order)} nodes in cycles"
+        )
+    return order
+
+
+def propagate(
+    graph: TimingGraph,
+    input_arrival: float = 0.0,
+    clock_period: Optional[float] = None,
+) -> StaReport:
+    """Run max-delay propagation and backtrace the critical path."""
+    arrivals: Dict[Node, float] = {}
+    parent: Dict[Node, Node] = {}
+    for node, clk_to_q in graph.launch_nodes.items():
+        arrivals[node] = max(arrivals.get(node, float("-inf")), clk_to_q)
+    for node in graph.input_nodes:
+        arrivals[node] = max(arrivals.get(node, float("-inf")), input_arrival)
+
+    order = _topological_order(graph)
+    for node in order:
+        arrival = arrivals.get(node)
+        if arrival is None:
+            continue
+        for edge in graph.adjacency.get(node, ()):
+            candidate = arrival + edge.delay
+            if candidate > arrivals.get(edge.dst, float("-inf")):
+                arrivals[edge.dst] = candidate
+                parent[edge.dst] = node
+
+    worst_node: Optional[Node] = None
+    worst_delay = 0.0
+    endpoint_slacks: Dict[Node, float] = {}
+    endpoints: Set[Node] = set(graph.capture_nodes) | graph.output_nodes
+    for node in endpoints:
+        arrival = arrivals.get(node)
+        if arrival is None:
+            continue
+        setup = graph.capture_nodes.get(node, 0.0)
+        total = arrival + setup
+        if total > worst_delay:
+            worst_delay = total
+            worst_node = node
+        if clock_period is not None:
+            endpoint_slacks[node] = clock_period - total
+
+    path: List[PathPoint] = []
+    node = worst_node
+    while node is not None:
+        path.append(PathPoint(node, arrivals.get(node, 0.0)))
+        node = parent.get(node)
+    path.reverse()
+
+    return StaReport(
+        arrivals=arrivals,
+        critical_endpoint=worst_node,
+        critical_delay=worst_delay,
+        path=path,
+        endpoint_slacks=endpoint_slacks,
+        broken_edge_count=len(graph.broken_edges),
+    )
+
+
+def analyze(
+    module: Module,
+    library: Library,
+    corner: str = "worst",
+    clock_period: Optional[float] = None,
+    disables: Optional[Iterable[Disable]] = None,
+) -> StaReport:
+    """One-call STA: build the graph for a corner and propagate."""
+    graph = build_timing_graph(module, library, corner, disables)
+    return propagate(graph, clock_period=clock_period)
+
+
+def min_clock_period(
+    module: Module,
+    library: Library,
+    corner: str = "worst",
+    disables: Optional[Iterable[Disable]] = None,
+    margin: float = 0.0,
+) -> float:
+    """Smallest period meeting setup on every register-to-register path."""
+    report = analyze(module, library, corner, disables=disables)
+    return report.critical_delay + margin
+
+
+def region_critical_path(
+    module: Module,
+    library: Library,
+    instances: Set[str],
+    corner: str = "worst",
+) -> float:
+    """Critical-path delay of one region's combinational cloud.
+
+    The launch points are the region's sequential outputs and ports, the
+    capture points its sequential data inputs: precisely the delay a
+    matched delay element must cover (section 2.4.4).
+    """
+    graph = build_timing_graph(
+        module, library, corner, instance_filter=instances
+    )
+    return propagate(graph).critical_delay
+
+
+def path_to_text(report: StaReport) -> str:
+    """Human-readable critical path, PrimeTime-report flavoured."""
+    lines = [f"critical delay: {report.critical_delay:.4f} ns"]
+    for point in report.path:
+        instance = point.node[0] or "<port>"
+        lines.append(f"  {instance}/{point.node[1]:<12} {point.arrival:8.4f}")
+    if report.broken_edge_count:
+        lines.append(f"  ({report.broken_edge_count} loop-breaking cuts applied)")
+    return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""Timing graph construction for static timing analysis.
+
+The graph nodes are pins -- ``(instance, pin)`` tuples, or ``(None, bit)``
+for top-level port bits.  Edges are either *cell arcs* (delay computed
+from the liberty linear model and the load on the output net) or *net
+edges* (wire delay annotated by the backend, zero pre-layout).
+
+Combinational-mode graphs (the default) stop at sequential elements:
+sequential cell outputs are launch points, sequential data inputs are
+capture points, and no edge passes *through* a flip-flop or latch.  This
+is exactly the view needed to size delay elements per region and to
+compute the minimum clock period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..liberty.model import CellKind, Library
+from ..netlist.core import Module, PortDirection
+
+#: a timing node: (instance name or None for ports, pin/bit name)
+Node = Tuple[Optional[str], str]
+
+
+@dataclass
+class TimingEdge:
+    src: Node
+    dst: Node
+    delay: float
+    kind: str  # "arc" | "net"
+
+
+@dataclass
+class TimingGraph:
+    module: Module
+    adjacency: Dict[Node, List[TimingEdge]] = field(default_factory=dict)
+    reverse: Dict[Node, List[TimingEdge]] = field(default_factory=dict)
+    #: sequential output pins: node -> clock-to-output delay
+    launch_nodes: Dict[Node, float] = field(default_factory=dict)
+    #: sequential data pins: node -> setup time
+    capture_nodes: Dict[Node, float] = field(default_factory=dict)
+    #: input/output port-bit nodes
+    input_nodes: Set[Node] = field(default_factory=set)
+    output_nodes: Set[Node] = field(default_factory=set)
+    #: edges removed to break combinational cycles (back edges)
+    broken_edges: List[TimingEdge] = field(default_factory=list)
+
+    def add_edge(self, edge: TimingEdge) -> None:
+        self.adjacency.setdefault(edge.src, []).append(edge)
+        self.reverse.setdefault(edge.dst, []).append(edge)
+
+    def nodes(self) -> Set[Node]:
+        out: Set[Node] = set(self.adjacency)
+        out.update(self.reverse)
+        out.update(self.launch_nodes)
+        out.update(self.capture_nodes)
+        out.update(self.input_nodes)
+        out.update(self.output_nodes)
+        return out
+
+
+def compute_net_loads(module: Module, library: Library) -> Dict[str, float]:
+    """Capacitive load per net: sink pin caps + estimated/annotated wire cap."""
+    wire_caps: Dict[str, float] = module.attributes.get("net_wire_cap", {})
+    loads: Dict[str, float] = {}
+    for net_name, net in module.nets.items():
+        load = wire_caps.get(net_name, library.default_wire_cap)
+        for ref in net.connections:
+            if ref.instance is None:
+                continue
+            inst = module.instances[ref.instance]
+            cell = library.cells.get(inst.cell)
+            if cell is None:
+                continue
+            pin = cell.pins.get(ref.pin)
+            if pin is not None and pin.direction == PortDirection.INPUT:
+                load += pin.capacitance
+        loads[net_name] = load
+    return loads
+
+
+#: a timing disable: (instance, from_pin, to_pin); from/to may be None=any
+Disable = Tuple[str, Optional[str], Optional[str]]
+
+
+def _is_disabled(
+    disables: Set[Disable], instance: str, from_pin: str, to_pin: str
+) -> bool:
+    return (
+        (instance, from_pin, to_pin) in disables
+        or (instance, None, to_pin) in disables
+        or (instance, from_pin, None) in disables
+        or (instance, None, None) in disables
+    )
+
+
+def build_timing_graph(
+    module: Module,
+    library: Library,
+    corner: str = "worst",
+    disables: Optional[Iterable[Disable]] = None,
+    instance_filter: Optional[Set[str]] = None,
+    through_sequential: bool = False,
+) -> TimingGraph:
+    """Build the (combinational-mode) timing graph of a module.
+
+    ``disables`` are ``set_disable_timing`` style cuts.  When
+    ``instance_filter`` is given, only those instances (and the nets
+    between them) participate -- used for per-region analysis.  With
+    ``through_sequential`` latch D->Q transparency arcs are kept, which
+    models the effective datapath view of Figure 4.3.
+    """
+    derate = library.corner(corner).derate
+    disable_set: Set[Disable] = set(disables or ())
+    loads = compute_net_loads(module, library)
+    wire_delays: Dict[str, float] = module.attributes.get("net_wire_delay", {})
+    graph = TimingGraph(module)
+
+    for inst in module.instances.values():
+        if instance_filter is not None and inst.name not in instance_filter:
+            continue
+        cell = library.cells.get(inst.cell)
+        if cell is None:
+            continue
+        sequential = cell.kind != CellKind.COMBINATIONAL
+        for arc in cell.arcs:
+            if arc.timing_type.startswith(("setup", "hold")):
+                if arc.timing_type.startswith("setup"):
+                    node = (inst.name, arc.pin)
+                    setup = arc.intrinsic_rise * derate
+                    existing = graph.capture_nodes.get(node, 0.0)
+                    graph.capture_nodes[node] = max(existing, setup)
+                continue
+            out_net = inst.pins.get(arc.pin)
+            if out_net is None:
+                continue
+            load = loads.get(out_net, 0.0)
+            delay = arc.worst_delay(load) * derate
+            if sequential:
+                is_clock_related = cell.pins[arc.related_pin].is_clock
+                if is_clock_related or not through_sequential:
+                    # clock->Q: a launch point rather than a through edge
+                    node = (inst.name, arc.pin)
+                    existing = graph.launch_nodes.get(node, 0.0)
+                    graph.launch_nodes[node] = max(existing, delay)
+                    continue
+                # transparent latch D->Q arc, kept in effective-view mode
+            if inst.pins.get(arc.related_pin) is None:
+                continue
+            if _is_disabled(disable_set, inst.name, arc.related_pin, arc.pin):
+                continue
+            graph.add_edge(
+                TimingEdge(
+                    (inst.name, arc.related_pin),
+                    (inst.name, arc.pin),
+                    delay,
+                    "arc",
+                )
+            )
+        if sequential and not through_sequential:
+            # data inputs without an explicit setup arc still capture
+            seq = cell.sequential
+            for pin in cell.pins.values():
+                if pin.direction != PortDirection.INPUT or pin.is_clock:
+                    continue
+                node = (inst.name, pin.name)
+                graph.capture_nodes.setdefault(node, 0.0)
+
+    # net edges: driver output pin -> sink input pins
+    for net_name, net in module.nets.items():
+        if net.is_constant:
+            continue
+        wire_delay = wire_delays.get(net_name, 0.0) * derate
+        drivers: List[Node] = []
+        sinks: List[Node] = []
+        for ref in net.connections:
+            if ref.instance is None:
+                port = module.ports.get(_port_base(ref.pin))
+                if port is None:
+                    continue
+                node = (None, ref.pin)
+                if port.direction == PortDirection.INPUT:
+                    drivers.append(node)
+                    graph.input_nodes.add(node)
+                else:
+                    sinks.append(node)
+                    graph.output_nodes.add(node)
+                continue
+            if instance_filter is not None and ref.instance not in instance_filter:
+                continue
+            inst = module.instances[ref.instance]
+            cell = library.cells.get(inst.cell)
+            if cell is None:
+                continue
+            pin = cell.pins.get(ref.pin)
+            if pin is None:
+                continue
+            if pin.direction == PortDirection.OUTPUT:
+                drivers.append((ref.instance, ref.pin))
+            elif not (pin.is_clock and not through_sequential):
+                sinks.append((ref.instance, ref.pin))
+        for driver in drivers:
+            for sink in sinks:
+                graph.add_edge(TimingEdge(driver, sink, wire_delay, "net"))
+
+    _break_cycles(graph)
+    return graph
+
+
+def _port_base(bit: str) -> str:
+    from ..netlist.core import bus_base
+
+    base = bus_base(bit)
+    return base if base is not None else bit
+
+
+def _break_cycles(graph: TimingGraph) -> None:
+    """Cut back edges found by iterative DFS so the graph is a DAG.
+
+    This mirrors what STA tools do when a combinational netlist contains
+    cycles (section 4.6): the cut locations depend on traversal order and
+    are arbitrary with respect to functionality, which is why the flow
+    supplies explicit disables for the controller network instead of
+    relying on this fallback.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Node, int] = {}
+    to_remove: List[TimingEdge] = []
+
+    for root in list(graph.adjacency):
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[Node, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, index = stack[-1]
+            edges = graph.adjacency.get(node, [])
+            if index >= len(edges):
+                color[node] = BLACK
+                stack.pop()
+                continue
+            stack[-1] = (node, index + 1)
+            edge = edges[index]
+            state = color.get(edge.dst, WHITE)
+            if state == GRAY:
+                to_remove.append(edge)
+            elif state == WHITE:
+                color[edge.dst] = GRAY
+                stack.append((edge.dst, 0))
+
+    for edge in to_remove:
+        graph.adjacency[edge.src].remove(edge)
+        graph.reverse[edge.dst].remove(edge)
+        graph.broken_edges.append(edge)

@@ -1,0 +1,277 @@
+"""The desynchronization protocol zoo of Figure 2.4.
+
+The figure orders handshake protocols between two adjacent latch enables
+A (upstream) and B (downstream) by allowed concurrency:
+
+========================  ======  =====================================
+protocol                  states  classification
+========================  ======  =====================================
+overlapping               --      NOT flow-equivalent (overwrites data)
+fully-decoupled           10      live and flow-equivalent
+de-synchronization model   8      live and flow-equivalent
+semi-decoupled             6      live and flow-equivalent
+simple                     5      live and flow-equivalent
+non-overlapping            4      live and flow-equivalent
+fall-decoupled             --     NOT live (fails in composition)
+========================  ======  =====================================
+
+The STGs here are reconstructions: the original arc drawings are not
+recoverable from the thesis scan, so each protocol was re-derived from
+its published state count, its live / flow-equivalent classification
+and its concurrency ordering, then verified with this package's
+reachability, liveness and flow-equivalence analyses (the verification
+is repeated in the test suite and in ``benchmarks/bench_fig_2_4.py``).
+
+Ring composition uses the synchronous-reset marking recipe: a place
+``src -> dst`` starts marked iff ``src``'s latest conceptual firing in
+the frozen synchronous schedule (master+ master- slave+ slave-) is more
+recent than ``dst``'s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .flowequiv import FlowViolation, check_flow_equivalence
+from .petri import ReachabilityGraph, Stg, StgError, explore, is_live
+
+
+@dataclass
+class Protocol:
+    """One pairwise latch-enable handshake protocol."""
+
+    name: str
+    #: causal arcs over edges of A, B and optional internal signal x
+    arcs: List[Tuple[str, str]]
+    #: arcs initially marked in the *pairwise* STG
+    marked: List[Tuple[str, str]] = field(default_factory=list)
+    #: canonical firing positions for internal-signal edges (ring recipe)
+    internal_positions: Dict[str, float] = field(default_factory=dict)
+    #: the state count printed in Figure 2.4 (None when the figure
+    #: characterises the protocol only by its failure)
+    paper_states: Optional[int] = None
+    description: str = ""
+
+    @property
+    def has_internal(self) -> bool:
+        return any("x" in src + dst for src, dst in self.arcs + self.marked)
+
+    # ------------------------------------------------------------------
+    def pairwise_stg(self) -> Stg:
+        internal = ["x"] if self.has_internal else []
+        stg = Stg(outputs=["A", "B"], internal=internal)
+        for src, dst in self.arcs:
+            stg.arc(src, dst)
+        for src, dst in self.marked:
+            stg.arc(src, dst, marked=True)
+        return stg
+
+    def state_count(self) -> int:
+        return explore(self.pairwise_stg()).state_count
+
+    def is_live_pairwise(self) -> bool:
+        return is_live(explore(self.pairwise_stg()))
+
+    def flow_violation(self) -> Optional[FlowViolation]:
+        return check_flow_equivalence(self.pairwise_stg())
+
+    @property
+    def is_flow_equivalent(self) -> bool:
+        return self.flow_violation() is None
+
+    # ------------------------------------------------------------------
+    def ring_stg(self, n_latches: int) -> Stg:
+        """Compose the protocol around a ring of ``n_latches`` latches."""
+        if n_latches < 2:
+            raise StgError("a ring needs at least two latches")
+        names = [f"L{i}" for i in range(n_latches)]
+        internal = (
+            [f"x{i}" for i in range(n_latches)] if self.has_internal else []
+        )
+        stg = Stg(outputs=names, internal=internal)
+        all_arcs = self.arcs + self.marked
+        for i in range(n_latches):
+            parity_a = i % 2
+            parity_b = (i + 1) % 2
+            a, b = names[i], names[(i + 1) % n_latches]
+
+            def substitute(edge: str) -> str:
+                return (
+                    edge.replace("A", a).replace("B", b).replace("x", f"x{i}")
+                )
+
+            def position(edge: str) -> float:
+                if edge.startswith("x"):
+                    return self.internal_positions[edge]
+                parity = parity_a if edge.startswith("A") else parity_b
+                phase = 0 if edge.endswith("+") else 1
+                return (0 if parity == 0 else 2) + phase
+
+            for src, dst in all_arcs:
+                stg.arc(
+                    substitute(src),
+                    substitute(dst),
+                    marked=position(src) > position(dst),
+                )
+        return stg
+
+    def ring_status(self, n_latches: int, max_states: int = 300000) -> str:
+        """Liveness verdict for the ring composition.
+
+        Returns ``"live"``, ``"deadlock"``, ``"dead_transitions"`` (some
+        latch edge can never fire), ``"not_live"`` (fires but cannot
+        always fire again) or ``"unsafe"`` (a place overflows -- the
+        composition is not a well-formed circuit at all).
+        """
+        try:
+            graph = explore(self.ring_stg(n_latches), max_states=max_states)
+        except StgError:
+            return "unsafe"
+        fired = set()
+        for successors in graph.edges.values():
+            fired.update(ti for ti, _ in successors)
+        if len(fired) != len(graph.stg.transitions):
+            return "dead_transitions"
+        if graph.deadlocks():
+            return "deadlock"
+        return "live" if is_live(graph) else "not_live"
+
+    @property
+    def is_usable(self) -> bool:
+        """Usable for desynchronization: flow-equivalent AND composable."""
+        return self.is_flow_equivalent and self.ring_status(4) == "live"
+
+
+# ----------------------------------------------------------------------
+# the zoo
+# ----------------------------------------------------------------------
+
+NON_OVERLAPPING = Protocol(
+    name="non_overlapping",
+    arcs=[("A-", "B+")],
+    marked=[("B-", "A+")],
+    paper_states=4,
+    description=(
+        "Adjacent enables never overlap: the upstream latch fully closes "
+        "before the downstream one opens.  Least concurrent, always safe."
+    ),
+)
+
+SIMPLE = Protocol(
+    name="simple",
+    arcs=[("A+", "B+"), ("A-", "B-")],
+    marked=[("B-", "A+")],
+    paper_states=5,
+    description=(
+        "Furber & Day's simple controller: the downstream latch opens as "
+        "soon as the upstream one opened (empty-pipeline flow-through) "
+        "and closes once the upstream one closed."
+    ),
+)
+
+SEMI_DECOUPLED = Protocol(
+    name="semi_decoupled",
+    arcs=[("A+", "A-"), ("A+", "B+")],
+    marked=[("B-", "A+")],
+    paper_states=6,
+    description=(
+        "Furber & Day's semi-decoupled controller: the downstream capture "
+        "is decoupled from the upstream closing edge; the upstream latch "
+        "re-opens only after the downstream capture."
+    ),
+)
+
+DESYNC_MODEL = Protocol(
+    name="desync_model",
+    arcs=[("A+", "A-"), ("A+", "B-"), ("B+", "B-")],
+    marked=[("B-", "A+")],
+    paper_states=8,
+    description=(
+        "The de-synchronization model of Cortadella et al.: maximally "
+        "concurrent single-place protocol that is still flow-equivalent."
+    ),
+)
+
+FULLY_DECOUPLED = Protocol(
+    name="fully_decoupled",
+    arcs=[("A-", "B+"), ("B-", "x+")],
+    marked=[("B-", "A+"), ("x-", "B+")],
+    internal_positions={"x+": 3.5, "x-": 3.75},
+    paper_states=10,
+    description=(
+        "Furber & Day's fully-decoupled (rise-decoupled) controller: an "
+        "internal state variable x pipelines the downstream re-opening "
+        "permission, decoupling both handshake phases."
+    ),
+)
+
+#: alias used by Figure 2.4 ("fully decoupled, rise-decoupled Furber & Day")
+RISE_DECOUPLED = Protocol(
+    name="rise_decoupled",
+    arcs=list(FULLY_DECOUPLED.arcs),
+    marked=list(FULLY_DECOUPLED.marked),
+    internal_positions=dict(FULLY_DECOUPLED.internal_positions),
+    paper_states=10,
+    description="Alias of fully_decoupled (Figure 2.4 groups them).",
+)
+
+OVERLAPPING = Protocol(
+    name="overlapping",
+    arcs=[("A+", "A-"), ("A+", "B+"), ("B+", "B-")],
+    marked=[("B+", "A+")],
+    paper_states=None,
+    description=(
+        "Too concurrent: the upstream latch may re-open and capture new "
+        "data before the downstream latch stored the previous item -- "
+        "data overwriting, hence NOT flow-equivalent (top of Figure 2.4)."
+    ),
+)
+
+FALL_DECOUPLED = Protocol(
+    name="fall_decoupled",
+    arcs=[("A+", "B+"), ("B+", "A-"), ("A-", "B-")],
+    marked=[("B-", "A+")],
+    paper_states=None,
+    description=(
+        "Falling edges coupled to the neighbour's rising edge: each latch "
+        "may close only after its successor opened.  Pairwise it looks "
+        "fine, but composed around a register ring the net loses safeness "
+        "-- NOT usable (bottom of Figure 2.4: 'not live')."
+    ),
+)
+
+#: the concurrency ladder of Figure 2.4, most concurrent first
+PROTOCOL_LADDER: List[Protocol] = [
+    OVERLAPPING,
+    FULLY_DECOUPLED,
+    DESYNC_MODEL,
+    SEMI_DECOUPLED,
+    SIMPLE,
+    NON_OVERLAPPING,
+    FALL_DECOUPLED,
+]
+
+PROTOCOLS: Dict[str, Protocol] = {
+    p.name: p for p in PROTOCOL_LADDER + [RISE_DECOUPLED]
+}
+
+
+def ladder_report() -> List[Dict[str, object]]:
+    """One row per Figure 2.4 protocol: states, liveness, flow-equivalence."""
+    rows: List[Dict[str, object]] = []
+    for protocol in PROTOCOL_LADDER:
+        violation = protocol.flow_violation()
+        rows.append(
+            {
+                "protocol": protocol.name,
+                "paper_states": protocol.paper_states,
+                "states": protocol.state_count(),
+                "live_pairwise": protocol.is_live_pairwise(),
+                "ring4": protocol.ring_status(4),
+                "flow_equivalent": violation is None,
+                "violation": violation.kind if violation else None,
+                "usable": protocol.is_usable,
+            }
+        )
+    return rows

@@ -1,0 +1,19 @@
+"""PVT variability modelling and Monte-Carlo studies."""
+
+from .montecarlo import (
+    ChipSample,
+    VariabilityModel,
+    VariabilityStudy,
+    desynchronized_period,
+    run_study,
+    synchronous_period,
+)
+
+__all__ = [
+    "ChipSample",
+    "VariabilityModel",
+    "VariabilityStudy",
+    "desynchronized_period",
+    "run_study",
+    "synchronous_period",
+]

@@ -1,0 +1,158 @@
+"""Monte-Carlo PVT variability model (chapter 1, sections 2.5, 5.2.2).
+
+Each fabricated chip gets an *inter-die* delay factor (process corner
+plus operating voltage/temperature) and per-instance *intra-die*
+factors.  The crucial desynchronization property is built into the
+model the same way it is built into silicon:
+
+- the synchronous design must be clocked at the **worst-case** period:
+  the externally imposed clock cannot know which chip it landed on;
+- the desynchronized design's delay elements sit on the same die,
+  made of the same gates, so their delay scales with the *same*
+  inter-die factor as the logic they match -- the effective period
+  tracks each chip's actual speed (plus a residual mismatch term for
+  intra-die variation the margin must absorb).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class ChipSample:
+    """One fabricated die."""
+
+    inter_die: float  # global delay factor (1.0 = typical)
+    #: residual delay-element-vs-logic mismatch for this die (around 1.0)
+    tracking_mismatch: float = 1.0
+    #: optional per-instance factors (for instance-level simulation/STA)
+    instance_factors: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class VariabilityModel:
+    """Distribution parameters for 90nm-class variation."""
+
+    #: sigma of the inter-die (D2D) delay factor
+    sigma_inter: float = 0.12
+    #: sigma of per-instance intra-die (WID) variation
+    sigma_intra: float = 0.04
+    #: how much of the intra-die variation the delay element fails to
+    #: track (0 = perfect tracking, 1 = fully uncorrelated)
+    tracking_residual: float = 0.5
+    #: hard truncation so samples stay physical
+    truncate_sigma: float = 3.0
+
+    def sample_chips(
+        self,
+        n: int,
+        seed: int = 2006,
+        instances: Optional[Sequence[str]] = None,
+    ) -> List[ChipSample]:
+        rng = random.Random(seed)
+        chips: List[ChipSample] = []
+        for _ in range(n):
+            inter = self._gauss(rng, 1.0, self.sigma_inter)
+            mismatch = self._gauss(
+                rng, 1.0, self.sigma_intra * self.tracking_residual
+            )
+            chip = ChipSample(inter_die=inter, tracking_mismatch=mismatch)
+            if instances:
+                chip.instance_factors = {
+                    name: self._gauss(rng, 1.0, self.sigma_intra)
+                    for name in instances
+                }
+            chips.append(chip)
+        return chips
+
+    def _gauss(self, rng: random.Random, mu: float, sigma: float) -> float:
+        value = rng.gauss(mu, sigma)
+        low = mu - self.truncate_sigma * sigma
+        high = mu + self.truncate_sigma * sigma
+        return min(max(value, low), high)
+
+    def worst_case_factor(self) -> float:
+        """The factor the synchronous clock must be signed off at."""
+        return 1.0 + self.truncate_sigma * self.sigma_inter
+
+    def best_case_factor(self) -> float:
+        return 1.0 - self.truncate_sigma * self.sigma_inter
+
+
+def synchronous_period(nominal_period: float, model: VariabilityModel) -> float:
+    """Clock period a synchronous chip ships with: worst case, always."""
+    return nominal_period * model.worst_case_factor()
+
+
+def desynchronized_period(
+    nominal_period: float, chip: ChipSample, margin: float = 0.0
+) -> float:
+    """Effective period of the desynchronized chip: tracks the die.
+
+    ``margin`` is the delay-element safety margin (uncorrelated
+    variability headroom, section 2.5).
+    """
+    return (
+        nominal_period
+        * chip.inter_die
+        * chip.tracking_mismatch
+        * (1.0 + margin)
+    )
+
+
+@dataclass
+class VariabilityStudy:
+    """Result of a sync-vs-desync Monte-Carlo comparison (Figure 5.4)."""
+
+    sync_period: float
+    desync_periods: List[float]
+
+    @property
+    def fraction_desync_faster(self) -> float:
+        faster = sum(1 for p in self.desync_periods if p < self.sync_period)
+        return faster / max(len(self.desync_periods), 1)
+
+    @property
+    def mean_desync_period(self) -> float:
+        return sum(self.desync_periods) / max(len(self.desync_periods), 1)
+
+    def histogram(self, bins: int = 20) -> List[Dict[str, float]]:
+        low = min(self.desync_periods)
+        high = max(self.desync_periods)
+        if high <= low:
+            high = low + 1e-9
+        width = (high - low) / bins
+        counts = [0] * bins
+        for period in self.desync_periods:
+            index = min(int((period - low) / width), bins - 1)
+            counts[index] += 1
+        total = len(self.desync_periods)
+        return [
+            {
+                "low": low + i * width,
+                "high": low + (i + 1) * width,
+                "probability": counts[i] / total,
+            }
+            for i in range(bins)
+        ]
+
+
+def run_study(
+    nominal_period: float,
+    model: Optional[VariabilityModel] = None,
+    n_chips: int = 5000,
+    margin: float = 0.10,
+    seed: int = 2006,
+) -> VariabilityStudy:
+    """Monte-Carlo comparison of sync worst-case vs desync per-die period."""
+    model = model or VariabilityModel()
+    chips = model.sample_chips(n_chips, seed=seed)
+    sync = synchronous_period(nominal_period, model)
+    desync = [
+        desynchronized_period(nominal_period, chip, margin) for chip in chips
+    ]
+    return VariabilityStudy(sync_period=sync, desync_periods=desync)

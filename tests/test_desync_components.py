@@ -1,0 +1,292 @@
+"""Unit tests for desynchronization components: C-elements, controllers,
+delay elements, gatefile-driven substitution rules."""
+
+import pytest
+
+from repro.desync import (
+    C_RESET_CELL,
+    C_SET_CELL,
+    build_cmuller,
+    characterize_ladder,
+    build_delay_element,
+    choose_length,
+    cmuller_truth_table,
+    controller_stg,
+    ensure_controller_cells,
+    mux_selection_delay,
+    place_controller,
+)
+from repro.desync.cmuller import CMullerError
+from repro.desync.delays import DelayElementError
+from repro.liberty import GateChooser, core9_hs
+from repro.netlist import Module, PortDirection
+from repro.sim import Simulator
+from repro.stg import explore, is_live
+
+
+@pytest.fixture(scope="module")
+def lib():
+    library = core9_hs()
+    ensure_controller_cells(library)
+    return library
+
+
+@pytest.fixture(scope="module")
+def ladder(lib):
+    return characterize_ladder(lib, "worst", max_length=60)
+
+
+# ----------------------------------------------------------------------
+# C-Muller elements (Table 2.1)
+# ----------------------------------------------------------------------
+
+def simulate_cmuller(lib, n_inputs, sequence):
+    """Drive an n-input C element; returns output after each vector."""
+    mod = Module("cm")
+    inputs = []
+    for i in range(n_inputs):
+        mod.add_port(f"i{i}", PortDirection.INPUT)
+        inputs.append(f"i{i}")
+    mod.add_port("z", PortDirection.OUTPUT)
+    build_cmuller(mod, inputs, "z", GateChooser(lib))
+    sim = Simulator(mod, lib)
+    outputs = []
+    for vector in sequence:
+        for name, value in zip(inputs, vector):
+            sim.set_input(name, value)
+        sim.settle(max_time=50)
+        outputs.append(sim.value("z"))
+    return outputs
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 10])
+def test_cmuller_truth_table(lib, n):
+    """Table 2.1: all 0s -> 0, all 1s -> 1, other -> unchanged."""
+    all0 = tuple([0] * n)
+    all1 = tuple([1] * n)
+    mixed = tuple([1] + [0] * (n - 1))
+    outputs = simulate_cmuller(lib, n, [all0, all1, mixed, all0, mixed])
+    assert outputs[0] == 0
+    assert outputs[1] == 1
+    assert outputs[2] == 1  # unchanged from 1
+    assert outputs[3] == 0
+    assert outputs[4] == 0  # unchanged from 0
+
+
+def test_cmuller_with_reset(lib):
+    mod = Module("cmr")
+    for name in ("a", "b", "rst"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("z", PortDirection.OUTPUT)
+    build_cmuller(mod, ["a", "b"], "z", GateChooser(lib), reset="rst")
+    sim = Simulator(mod, lib)
+    sim.set_input("rst", 0)
+    sim.set_input("a", 1)
+    sim.set_input("b", 1)
+    sim.settle(max_time=50)
+    assert sim.value("z") == 1
+    sim.set_input("rst", 1)
+    sim.settle(max_time=50)
+    assert sim.value("z") == 0
+
+
+def test_cmuller_rejects_bad_inputs(lib):
+    mod = Module("cm_bad")
+    mod.add_port("a", PortDirection.INPUT)
+    with pytest.raises(CMullerError):
+        build_cmuller(mod, ["a"], "z", GateChooser(lib))
+    mod.add_port("b", PortDirection.INPUT)
+    with pytest.raises(CMullerError):
+        build_cmuller(mod, ["a", "a"], "z", GateChooser(lib))
+
+
+def test_cmuller_truth_table_data():
+    rows = cmuller_truth_table()
+    assert rows[0]["output"] == 0
+    assert rows[1]["output"] == 1
+    assert rows[2]["output"] == "unchanged"
+
+
+# ----------------------------------------------------------------------
+# controllers
+# ----------------------------------------------------------------------
+
+def test_controller_cells_registered(lib):
+    assert C_RESET_CELL in lib and C_SET_CELL in lib
+    reset_cell = lib.cell(C_RESET_CELL)
+    assert reset_cell.dont_touch
+    assert set(reset_cell.pins) == {"A", "B", "RST", "Z"}
+
+
+def test_controller_c_element_behaviour(lib):
+    """CBR: Z = C(A, !B) with reset; verify set/hold/reset by simulation."""
+    mod = Module("c")
+    for name in ("a", "b", "rst"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("z", PortDirection.OUTPUT)
+    mod.add_instance("u", C_RESET_CELL, {"A": "a", "B": "b", "RST": "rst", "Z": "z"})
+    sim = Simulator(mod, lib)
+    sim.set_input("rst", 1)
+    sim.set_input("a", 0)
+    sim.set_input("b", 0)
+    sim.settle()
+    assert sim.value("z") == 0
+    sim.set_input("rst", 0)
+    sim.settle()
+    assert sim.value("z") == 0
+    sim.set_input("a", 1)  # A=1, B=0 -> rise
+    sim.settle()
+    assert sim.value("z") == 1
+    sim.set_input("b", 1)  # A=1, B=1 -> hold
+    sim.settle()
+    assert sim.value("z") == 1
+    sim.set_input("a", 0)  # A=0, B=1 -> fall
+    sim.settle()
+    assert sim.value("z") == 0
+
+
+def test_controller_set_variant_resets_high(lib):
+    mod = Module("cs")
+    for name in ("a", "b", "rst"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("z", PortDirection.OUTPUT)
+    mod.add_instance("u", C_SET_CELL, {"A": "a", "B": "b", "RST": "rst", "Z": "z"})
+    sim = Simulator(mod, lib)
+    sim.set_input("rst", 1)
+    sim.set_input("a", 0)
+    sim.set_input("b", 1)
+    sim.settle()
+    assert sim.value("z") == 1
+    sim.set_input("rst", 0)  # A=0, B=1 -> falling condition met
+    sim.settle()
+    assert sim.value("z") == 0
+
+
+def test_controller_stg_is_live():
+    graph = explore(controller_stg())
+    assert is_live(graph)
+    assert graph.state_count > 4
+
+
+def test_place_controller_creates_gates(lib):
+    mod = Module("m")
+    mod.add_port("rst", PortDirection.INPUT)
+    ctrl = place_controller(
+        mod, lib, "G1", "master", "ri", "ao", "g", "rst"
+    )
+    assert len(ctrl.gate_names) == 5  # x, y, 2 pulse buffers, enable gate
+    for gate in ctrl.gate_names:
+        assert gate in mod.instances
+        assert mod.instances[gate].attributes["size_only"]
+    # master x element is the set-high flavour (reset-primed)
+    assert mod.instances[f"{ctrl.name}_x"].cell == C_SET_CELL
+    # master enable gate ORs in reset (transparent during reset)
+    from repro.desync.controllers import PULSE_GATE_CELL
+
+    assert mod.instances[f"{ctrl.name}_g"].cell == PULSE_GATE_CELL
+    slave = place_controller(mod, lib, "G1", "slave", "ri2", "ao2", "g2", "rst")
+    assert mod.instances[f"{slave.name}_x"].cell == C_RESET_CELL
+    assert mod.instances[f"{slave.name}_g"].cell == "ANDN2X1"
+    assert ctrl.ai_net == ctrl.x_net
+    assert ctrl.ro_net == ctrl.y_net
+
+
+# ----------------------------------------------------------------------
+# delay elements
+# ----------------------------------------------------------------------
+
+def test_ladder_is_monotonic(ladder):
+    assert ladder.max_length == 60
+    for shorter, longer in zip(ladder.rise_delays, ladder.rise_delays[1:]):
+        assert longer > shorter
+
+
+def test_choose_length_covers_target_with_margin(ladder):
+    target = ladder.rise_delays[9]  # delay of a 10-level chain
+    length = choose_length(ladder, target, margin=0.10)
+    assert ladder.delay_of(length) >= target * 1.10
+    assert ladder.delay_of(length - 1) < target * 1.10
+
+
+def test_choose_length_too_long_raises(ladder):
+    with pytest.raises(DelayElementError):
+        choose_length(ladder, ladder.rise_delays[-1] * 2.0)
+
+
+def _edge_times(sim, net):
+    """Attach a watcher recording (time, value) transitions of ``net``."""
+    log = []
+    sim.watch_nets(
+        lambda t, n, v: log.append((t, v)) if n == net else None
+    )
+    return log
+
+
+def test_delay_element_is_asymmetric(lib):
+    """Figure 2.9: slow rise (full chain), fast fall (one AND level)."""
+    mod = Module("d")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("z", PortDirection.OUTPUT)
+    build_delay_element(mod, GateChooser(lib), "G1", "a", "z", length=12)
+    sim = Simulator(mod, lib)
+    log = _edge_times(sim, "z")
+    sim.set_input("a", 0)
+    sim.settle()
+    log.clear()
+    rise_start = sim.now
+    sim.set_input("a", 1)
+    sim.settle()
+    (rise_at, rise_val), = log
+    assert rise_val == 1
+    log.clear()
+    fall_start = sim.now
+    sim.set_input("a", 0)
+    sim.settle()
+    (fall_at, fall_val), = log
+    assert fall_val == 0
+    rise_time = rise_at - rise_start
+    fall_time = fall_at - fall_start
+    assert rise_time > 4 * fall_time
+
+
+def test_muxed_delay_element_selection(lib, ladder):
+    mod = Module("dm")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("z", PortDirection.OUTPUT)
+    element = build_delay_element(
+        mod, GateChooser(lib), "G1", "a", "z", length=32, mux_taps=8
+    )
+    assert len(element.taps) == 8
+    assert element.select_nets == [f"dsel_G1[{i}]" for i in range(3)]
+    assert "dsel_G1" in mod.ports
+    # model: the highest selection is the longest delay (Figure 5.3)
+    delays = [
+        mux_selection_delay(ladder, 32, 8, sel) for sel in range(8)
+    ]
+    assert delays == sorted(delays)
+    assert delays[-1] == ladder.delay_of(32)
+
+
+def test_muxed_delay_element_simulates(lib):
+    mod = Module("dm2")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("z", PortDirection.OUTPUT)
+    build_delay_element(
+        mod, GateChooser(lib), "G1", "a", "z", length=16, mux_taps=4
+    )
+    sim = Simulator(mod, lib)
+    log = _edge_times(sim, "z")
+    times = {}
+    for selection in (0, 3):
+        for bit in range(2):
+            sim.set_input(f"dsel_G1[{bit}]", (selection >> bit) & 1)
+        sim.set_input("a", 0)
+        sim.settle()
+        log.clear()
+        start = sim.now
+        sim.set_input("a", 1)
+        sim.settle()
+        assert sim.value("z") == 1
+        rise_events = [t for t, v in log if v == 1]
+        times[selection] = rise_events[-1] - start
+    assert times[3] > times[0]  # higher selection = longer chain

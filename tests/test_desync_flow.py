@@ -1,0 +1,263 @@
+"""End-to-end drdesync tests: grouping, substitution, DDG, network, SDC."""
+
+import pytest
+
+from repro.desync import (
+    DesyncOptions,
+    Drdesync,
+    ENV,
+    build_ddg,
+    fanin_fanout,
+    group_regions,
+    manual_regions,
+    single_region,
+    validate_independence,
+)
+from repro.designs.simple import (
+    counter,
+    figure22_circuit,
+    gated_counter,
+    pipeline3,
+    scan_pipeline,
+    shift_register,
+)
+from repro.liberty import build_gatefile, core9_hs
+from repro.netlist import parse_verilog, write_verilog
+from repro.sta import SdcFile, analyze
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return core9_hs()
+
+
+@pytest.fixture(scope="module")
+def tool(lib):
+    return Drdesync(lib)
+
+
+# ----------------------------------------------------------------------
+# grouping (section 3.2.2)
+# ----------------------------------------------------------------------
+
+def test_figure22_grouping_matches_paper(lib):
+    """The Figure 2.2 circuit must decompose into its five regions."""
+    mod = figure22_circuit(lib)
+    gatefile = build_gatefile(lib)
+    regions = group_regions(mod, gatefile)
+    with_ffs = [
+        name
+        for name, region in regions.regions.items()
+        if region.sequential_instances(mod, gatefile)
+    ]
+    assert len(with_ffs) == 5
+    assert validate_independence(mod, gatefile, regions) == []
+
+
+def test_input_registers_go_to_group0(lib):
+    """Step 3: flip-flops registering circuit inputs form Group 0."""
+    mod = pipeline3(lib)
+    gatefile = build_gatefile(lib)
+    regions = group_regions(mod, gatefile)
+    assert "G0" in regions.regions
+    group0 = regions.regions["G0"]
+    seq = group0.sequential_instances(mod, gatefile)
+    assert seq and all(name.startswith("r_sa") for name in seq)
+
+
+def test_ff_to_ff_chains_join_driver_group(lib):
+    """Step 2 heuristic: shift-register stages follow their driver."""
+    mod = shift_register(lib, depth=5)
+    gatefile = build_gatefile(lib)
+    regions = group_regions(mod, gatefile)
+    names = {regions.region_of(f"r_s{i}") for i in range(5)}
+    assert len(names) == 1
+
+
+def test_bus_heuristic_merges_bus_drivers(lib):
+    """Figure 3.6: cells driving bits of one bus merge into one group."""
+    text = """
+    module m (input a, input b, input s, input clk, output [1:0] q);
+      wire [1:0] muxed;
+      MUX2X1 m0 (.A(a), .B(b), .S(s), .Z(muxed[0]));
+      MUX2X1 m1 (.A(b), .B(a), .S(s), .Z(muxed[1]));
+      DFFX1 r0 (.D(muxed[0]), .CK(clk), .Q(q[0]));
+      DFFX1 r1 (.D(muxed[1]), .CK(clk), .Q(q[1]));
+    endmodule
+    """
+    mod = parse_verilog(text).top
+    gatefile = build_gatefile(core9_hs())
+    merged = group_regions(mod, gatefile, use_bus_heuristic=True)
+    assert merged.region_of("m0") == merged.region_of("m1")
+    split = group_regions(mod, gatefile, use_bus_heuristic=False)
+    assert split.region_of("m0") != split.region_of("m1")
+
+
+def test_false_path_nets_are_ignored(lib):
+    """A global net (e.g. a mode signal) can be marked as a false path."""
+    text = """
+    module m (input a, input b, input mode, input clk, output [1:0] q);
+      wire mode_n, n0, n1;
+      INVX1 um (.A(mode), .Z(mode_n));
+      AND2X1 u0 (.A(a), .B(mode_n), .Z(n0));
+      AND2X1 u1 (.A(b), .B(mode_n), .Z(n1));
+      DFFX1 r0 (.D(n0), .CK(clk), .Q(q[0]));
+      DFFX1 r1 (.D(n1), .CK(clk), .Q(q[1]));
+    endmodule
+    """
+    mod = parse_verilog(text).top
+    gatefile = build_gatefile(core9_hs())
+    merged = group_regions(mod, gatefile)
+    assert merged.region_of("u0") == merged.region_of("u1")
+    split = group_regions(mod, gatefile, false_path_nets=["mode_n"])
+    assert split.region_of("u0") != split.region_of("u1")
+
+
+def test_manual_and_single_region_modes(lib):
+    mod = pipeline3(lib)
+    manual = manual_regions(mod, {name: "A" for name in mod.instances})
+    assert set(manual.regions) == {"A"}
+    single = single_region(mod)
+    assert len(single.regions) == 1
+
+
+# ----------------------------------------------------------------------
+# data dependency graph (section 3.2.4)
+# ----------------------------------------------------------------------
+
+def test_ddg_matches_figure26(lib, tool):
+    mod = figure22_circuit(lib)
+    result = tool.run(mod)
+    edges = set(result.ddg.edges())
+    # Figure 2.6 structure: G1 -> {G2, G3}, G2 -> G4, {G3, G4} -> G5
+    region_edges = {
+        (a, b) for a, b in edges if a != ENV and b != ENV
+    }
+    out_degrees = {}
+    for a, b in region_edges:
+        out_degrees.setdefault(a, set()).add(b)
+    fanout_sizes = sorted(len(v) for v in out_degrees.values())
+    assert 2 in fanout_sizes  # one region feeds two others (G1)
+    # one region has fanin 2 (G5)
+    in_degrees = {}
+    for a, b in region_edges:
+        in_degrees.setdefault(b, set()).add(a)
+    assert any(len(v) == 2 for v in in_degrees.values())
+
+
+def test_counter_has_self_edge(lib, tool):
+    mod = counter(lib)
+    result = tool.run(mod)
+    self_edges = [(a, b) for a, b in result.ddg.edges() if a == b]
+    assert len(self_edges) == 1
+
+
+def test_fanin_fanout_counts(lib, tool):
+    mod = figure22_circuit(lib)
+    result = tool.run(mod)
+    for region in result.region_map.regions:
+        fanin, fanout = fanin_fanout(result.ddg, region)
+        assert fanin >= 0 and fanout >= 0
+
+
+# ----------------------------------------------------------------------
+# full tool runs
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "build",
+    [counter, pipeline3, figure22_circuit, shift_register, scan_pipeline,
+     gated_counter],
+    ids=lambda f: f.__name__,
+)
+def test_tool_produces_consistent_netlist(lib, tool, build):
+    mod = build(lib)
+    result = tool.run(mod)
+    assert mod.check() == []
+    assert result.substitution.replaced > 0
+    # no flip-flops remain
+    gatefile = result.gatefile
+    for inst in mod.instances.values():
+        if inst.cell in gatefile.cells:
+            assert not gatefile.is_flip_flop(inst.cell), inst.name
+    # the clock port is gone
+    assert "clk" not in mod.ports
+    assert "rst" in mod.ports
+
+
+def test_controllers_one_pair_per_sequential_region(lib, tool):
+    mod = figure22_circuit(lib)
+    result = tool.run(mod)
+    roles = {}
+    for (region, role) in result.network.controllers:
+        roles.setdefault(region, set()).add(role)
+    assert all(r == {"master", "slave"} for r in roles.values())
+    assert len(roles) == 5
+
+
+def test_delay_elements_cover_region_delay(lib, tool):
+    mod = figure22_circuit(lib)
+    result = tool.run(mod)
+    for region, element in result.network.delay_elements.items():
+        target = result.network.region_delays[region]
+        if target > 0:
+            assert result.ladder.delay_of(element.length) >= target
+
+
+def test_sdc_contents(lib, tool):
+    mod = figure22_circuit(lib)
+    result = tool.run(mod)
+    sdc = SdcFile.parse(result.export_sdc())
+    clock_names = {c.name for c in sdc.clocks()}
+    assert clock_names == {"ClkM", "ClkS"}
+    master, slave = sdc.clocks()
+    assert master.period == slave.period
+    assert master.source_kind == "pins"
+    assert sdc.size_only_cells()
+    assert sdc.disables()
+
+
+def test_sta_on_desynchronized_netlist_is_cycle_free(lib, tool):
+    """With the generated disables, no arbitrary loop cuts are needed."""
+    mod = figure22_circuit(lib)
+    result = tool.run(mod)
+    report = analyze(mod, lib, disables=result.sta_disables())
+    assert report.broken_edge_count == 0
+    without = analyze(mod, lib)
+    assert without.broken_edge_count > 0  # the handshake loops exist
+
+
+def test_exports_are_parseable(lib, tool):
+    mod = pipeline3(lib)
+    result = tool.run(mod)
+    verilog = result.export_verilog()
+    again = parse_verilog(verilog)
+    assert len(again.top.instances) == len(mod.instances)
+    blif = result.export_blif()
+    assert ".model" in blif and ".gate" in blif
+
+
+def test_mux_taps_option_creates_selection_ports(lib, tool):
+    mod = pipeline3(lib)
+    result = tool.run(mod, DesyncOptions(delay_mux_taps=8))
+    dsel_ports = [p for p in mod.ports if p.startswith("dsel_")]
+    assert dsel_ports
+    for element in result.network.delay_elements.values():
+        if element.taps:
+            assert len(element.taps) <= 8
+
+
+def test_arm_style_single_region_run(lib, tool):
+    mod = scan_pipeline(lib)
+    result = tool.run(mod, DesyncOptions(grouping="single"))
+    assert len(result.region_map) == 1
+    assert len(result.network.controllers) == 2
+
+
+def test_summary_fields(lib, tool):
+    mod = counter(lib)
+    result = tool.run(mod)
+    summary = result.summary()
+    assert summary["flip_flops_replaced"] == 8
+    assert summary["controllers"] == 2
+    assert summary["delay_elements"] >= 1

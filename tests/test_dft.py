@@ -1,0 +1,98 @@
+"""DFT tests: scan insertion, chain shifting, fault grading."""
+
+import pytest
+
+from repro.desync import Drdesync
+from repro.designs import counter, pipeline3
+from repro.dft import (
+    ScanError,
+    enumerate_faults,
+    generate_tests,
+    insert_scan,
+    random_patterns,
+    shift_pattern_in,
+)
+from repro.liberty import CellKind, build_gatefile, core9_hs, is_scan_cell
+from repro.netlist import Module, PortDirection
+from repro.sim import Simulator, initialize_registers
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return core9_hs()
+
+
+def test_scan_insertion_replaces_ffs(lib):
+    mod = pipeline3(lib)
+    result = insert_scan(mod, lib)
+    assert result.replaced > 0
+    for name in result.chain:
+        cell = lib.cell(mod.instances[name].cell)
+        assert is_scan_cell(cell)
+    assert "scan_in" in mod.ports and "scan_en" in mod.ports
+    assert mod.check() == []
+
+
+def test_scan_chain_is_connected(lib):
+    mod = counter(lib, width=4)
+    result = insert_scan(mod, lib)
+    previous = "scan_in"
+    for name in result.chain:
+        assert mod.instances[name].pins["SI"] == previous
+        previous = mod.instances[name].pins["Q"]
+    assert (result.scan_out, previous) in mod.assigns
+
+
+def test_scan_shift_moves_data_through_chain(lib):
+    mod = counter(lib, width=4)
+    result = insert_scan(mod, lib)
+    sim = Simulator(mod, lib)
+    initialize_registers(sim, 0)
+    sim.set_input("clk", 0)
+    pattern = [1, 0, 1, 1]
+    shift_pattern_in(sim, result, pattern, period=4.0)
+    states = [sim._models[name].state for name in result.chain]
+    assert states == pattern
+
+
+def test_scan_on_empty_design_fails(lib):
+    mod = Module("empty")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_instance("u", "INVX1", {"A": "a", "Z": "y"})
+    with pytest.raises(ScanError):
+        insert_scan(mod, lib)
+
+
+def test_fault_enumeration(lib):
+    mod = pipeline3(lib)
+    faults = enumerate_faults(mod, max_faults=50)
+    assert len(faults) == 50
+    assert all(f.stuck_at in (0, 1) for f in faults)
+
+
+def test_random_patterns_cover_inputs(lib):
+    mod = pipeline3(lib)
+    patterns = random_patterns(mod, 4)
+    assert len(patterns) == 4
+    assert all("din[0]" in p for p in patterns)
+    assert all("clk" not in p for p in patterns)
+
+
+def test_fault_grading_detects_faults(lib):
+    mod = pipeline3(lib, width=4)
+    result = generate_tests(mod, lib, n_patterns=12, max_faults=30)
+    assert result.total_faults == 30
+    assert result.coverage > 0.3  # random patterns catch a good chunk
+    assert result.detected + len(result.undetected) == result.total_faults
+
+
+def test_scan_design_desynchronizes(lib):
+    """The ARM path: scan insertion then single-region desync."""
+    mod = pipeline3(lib, width=4)
+    insert_scan(mod, lib)
+    result = Drdesync(lib).run(mod)
+    gatefile = result.gatefile
+    for inst in mod.instances.values():
+        if inst.cell in gatefile.cells:
+            assert not gatefile.is_flip_flop(inst.cell)
+    assert mod.check() == []

@@ -1,0 +1,93 @@
+"""The complete experimental procedure of Figure 5.1, one test.
+
+Synchronous flow and desynchronization flow side by side on one design,
+followed by every analysis the evaluation chapter uses: area comparison,
+effective period, power, variability, plus the future-work extensions
+(SSTA matching, ECO) -- all chained on the same netlists.
+"""
+
+import pytest
+
+from repro.desync import Drdesync, eco_calibrate
+from repro.designs import figure22_circuit
+from repro.flow import (
+    compare_implementations,
+    implement_desynchronized,
+    implement_synchronous,
+)
+from repro.liberty import core9_hs
+from repro.perf import effective_period_model, measure_effective_period
+from repro.power import activity_from_simulation, estimate_power
+from repro.sim import (
+    HandshakeTestbench,
+    Simulator,
+    check_flow_equivalence,
+)
+from repro.sta import delay_element_matching
+from repro.variability import run_study
+
+
+def test_figure_5_1_experimental_procedure():
+    library = core9_hs()
+    sync_module = figure22_circuit(library)
+    desync_module = sync_module.clone()
+    golden = sync_module.clone()
+
+    # two implementations through the same backend
+    sync = implement_synchronous(
+        sync_module, library, target_utilization=0.95
+    )
+    tool = Drdesync(library)
+    desync = implement_desynchronized(
+        desync_module, library, tool=tool, target_utilization=0.91
+    )
+
+    # results comparison (Table 5.1 layout)
+    table = compare_implementations("figure22", sync, desync)
+    layout = table.phases["Post Layout"]
+    assert layout["core size (um2)"]["overhead_pct"] > 0
+    assert layout["sequential logic (um2)"]["overhead_pct"] > 10
+
+    # timing: the desynchronized effective period vs the sync clock
+    period = effective_period_model(desync.desync, library, "worst")
+    assert period.effective_period > 0
+    assert sync.min_period > 0
+
+    # simulation: flow-equivalence on the final (post-layout) netlist
+    stimulus = lambda k: {
+        f"din[{i}]": ((k * 5 + 1) >> i) & 1 for i in range(4)
+    }
+    fe = check_flow_equivalence(
+        golden, desync.desync, library, cycles=8, stimulus=stimulus
+    )
+    assert fe.equivalent, fe.mismatches[:3]
+
+    # power from simulated activity
+    simulator = Simulator(desync_module, library)
+    bench = HandshakeTestbench(
+        simulator,
+        desync.desync.network.env_ports,
+        desync.desync.network.reset_net,
+    )
+    bench.apply_reset(0, initial_inputs=stimulus(0))
+    bench.run_items(8, stimulus)
+    power = estimate_power(
+        desync_module, library, activity_from_simulation(simulator)
+    )
+    assert power.total_mw > 0
+
+    # variability: the Figure 5.4 statistic on this design's period
+    nominal = period.effective_period / library.corner("worst").derate
+    study = run_study(nominal, n_chips=3000, margin=0.10)
+    assert study.fraction_desync_faster > 0.8
+
+    # future work: SSTA matching yield and ECO recalibration
+    matching = delay_element_matching(desync.desync, library)
+    assert matching and all(r.yield_correlated > 0.99 for r in matching)
+    eco = eco_calibrate(desync.desync, library)
+    assert desync_module.check() == []
+    # the design still works after ECO
+    fe_after = check_flow_equivalence(
+        golden, desync.desync, library, cycles=6, stimulus=stimulus
+    )
+    assert fe_after.equivalent

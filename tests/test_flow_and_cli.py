@@ -1,0 +1,115 @@
+"""Implementation-flow and CLI tests."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.designs import arm9_core, figure22_circuit, pipeline3
+from repro.flow import (
+    compare_implementations,
+    implement_desynchronized,
+    implement_synchronous,
+)
+from repro.liberty import core9_hs, core9_ll
+from repro.netlist import save_verilog, parse_verilog, Netlist
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return core9_hs()
+
+
+def test_sync_flow_produces_reports(lib):
+    mod = figure22_circuit(lib)
+    result = implement_synchronous(mod, lib)
+    assert result.post_synthesis.cells > 0
+    assert result.post_layout is not None
+    assert result.post_layout.cells >= result.post_synthesis.cells
+    assert result.min_period > 0
+
+
+def test_desync_flow_produces_reports(lib):
+    mod = figure22_circuit(lib)
+    result = implement_desynchronized(mod, lib)
+    assert result.desync is not None
+    assert result.post_layout.core_size > 0
+
+
+def test_comparison_table_shape(lib):
+    sync_mod = pipeline3(lib)
+    desync_mod = sync_mod.clone()
+    sync = implement_synchronous(sync_mod, lib, target_utilization=0.95)
+    desync = implement_desynchronized(
+        desync_mod, lib, target_utilization=0.91
+    )
+    table = compare_implementations("pipeline3", sync, desync)
+    assert set(table.phases) == {"Post Synthesis", "Post Layout"}
+    layout = table.phases["Post Layout"]
+    assert layout["# cells"]["overhead_pct"] > 0
+    assert layout["sequential logic (um2)"]["overhead_pct"] > 5
+    text = table.to_text()
+    assert "synchronous vs desynchronized" in text
+    assert "core size" in text
+
+
+def test_table_5_2_shape_small_arm(lib):
+    """ARM-style: scan design, single region, sequential-heavy overhead."""
+    library = core9_ll()
+    sync_mod = arm9_core(library, target_cells=1500)
+    desync_mod = sync_mod.clone()
+    from repro.desync import DesyncOptions
+
+    sync = implement_synchronous(sync_mod, library, target_utilization=0.80)
+    desync = implement_desynchronized(
+        desync_mod,
+        library,
+        options=DesyncOptions(grouping="single"),
+        target_utilization=0.88,
+    )
+    table = compare_implementations("ARM", sync, desync)
+    synth = table.phases["Post Synthesis"]
+    # scan substitution drives the sequential overhead well above the
+    # plain-FF case (paper: 40.7% vs 17.7%)
+    assert synth["sequential logic (um2)"]["overhead_pct"] > 20
+
+
+def test_cli_end_to_end(lib, tmp_path):
+    mod = figure22_circuit(lib)
+    netlist = Netlist()
+    netlist.add_module(mod)
+    src = tmp_path / "design.v"
+    save_verilog(netlist, str(src))
+    out_v = tmp_path / "out.v"
+    out_sdc = tmp_path / "out.sdc"
+    out_blif = tmp_path / "out.blif"
+    out_gf = tmp_path / "out.gatefile"
+    code = cli_main([
+        str(src),
+        "-o", str(out_v),
+        "--sdc", str(out_sdc),
+        "--blif", str(out_blif),
+        "--gatefile", str(out_gf),
+        "--quiet",
+    ])
+    assert code == 0
+    text = out_v.read_text()
+    assert "module" in text and "CBRX1" in text
+    again = parse_verilog(text)
+    assert len(again.top.instances) > len(mod.ports)
+    assert "create_clock" in out_sdc.read_text()
+    assert ".model" in out_blif.read_text()
+    assert "cell DFFX1" in out_gf.read_text()
+
+
+def test_cli_single_region_and_margin(lib, tmp_path):
+    mod = pipeline3(lib)
+    netlist = Netlist()
+    netlist.add_module(mod)
+    src = tmp_path / "p3.v"
+    save_verilog(netlist, str(src))
+    out_v = tmp_path / "out.v"
+    code = cli_main([
+        str(src), "-o", str(out_v), "--group", "single",
+        "--margin", "0.3", "--quiet",
+    ])
+    assert code == 0
+    assert out_v.exists()

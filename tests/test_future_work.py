@@ -1,0 +1,165 @@
+"""Tests for the chapter-6 future-work extensions: SSTA, ECO
+calibration and floorplan-constrained delay-element placement."""
+
+import math
+
+import pytest
+
+from repro.desync import Drdesync, eco_calibrate, measure_element_delay
+from repro.desync.eco import _extend_element
+from repro.designs import counter, figure22_circuit, pipeline3
+from repro.liberty import GateChooser, core9_hs
+from repro.physical import (
+    apply_floorplan_constraints,
+    delay_element_proximity,
+    place,
+    run_backend,
+)
+from repro.sim import check_flow_equivalence
+from repro.sta import (
+    StatArrival,
+    analyze,
+    delay_element_matching,
+    ssta_analyze,
+    statistical_max,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return core9_hs()
+
+
+# ----------------------------------------------------------------------
+# SSTA
+# ----------------------------------------------------------------------
+
+def test_stat_arrival_addition():
+    arrival = StatArrival(1.0, 0.1, 0.01)
+    extended = arrival.plus(2.0, 0.05, 0.02)
+    assert extended.mean == pytest.approx(3.0)
+    assert extended.global_sens == pytest.approx(0.1 + 2.0 * 0.05)
+    assert extended.local_var == pytest.approx(0.01 + (2.0 * 0.02) ** 2)
+
+
+def test_statistical_max_dominates_both_means():
+    a = StatArrival(2.0, 0.2, 0.01)
+    b = StatArrival(1.0, 0.1, 0.01)
+    m = statistical_max(a, b)
+    assert m.mean >= a.mean  # max mean >= each operand's mean
+    c = StatArrival(2.0, 0.2, 0.01)
+    tied = statistical_max(a, c)
+    assert tied.mean >= 2.0  # ties push the mean up
+
+
+def test_statistical_max_identical_correlated_is_identity():
+    a = StatArrival(2.0, 0.3, 0.0)
+    m = statistical_max(a, StatArrival(2.0, 0.3, 0.0))
+    assert m.mean == pytest.approx(2.0)
+    assert m.sigma == pytest.approx(0.3, abs=1e-6)
+
+
+def test_ssta_mean_tracks_deterministic_sta(lib):
+    mod = pipeline3(lib)
+    deterministic = analyze(mod, lib).critical_delay
+    stat = ssta_analyze(mod, lib)
+    assert stat.worst.mean == pytest.approx(deterministic, rel=0.15)
+    assert stat.worst.sigma > 0
+
+
+def test_ssta_sigma_grows_with_variability(lib):
+    mod = pipeline3(lib)
+    small = ssta_analyze(mod, lib, sigma_global=0.02, sigma_local=0.01)
+    big = ssta_analyze(mod, lib, sigma_global=0.15, sigma_local=0.08)
+    assert big.worst.sigma > small.worst.sigma * 2
+
+
+def test_delay_element_matching_correlation_wins(lib):
+    """The paper's future-work question, answered: on-die delay elements
+    keep near-unity timing yield; uncorrelated ones would not."""
+    mod = figure22_circuit(lib)
+    result = Drdesync(lib).run(mod)
+    rows = delay_element_matching(result, lib)
+    assert rows
+    for row in rows:
+        assert row.yield_correlated > 0.999
+        assert row.yield_correlated >= row.yield_uncorrelated
+    assert any(row.yield_uncorrelated < 0.995 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# ECO calibration
+# ----------------------------------------------------------------------
+
+def test_measure_element_delay_close_to_ladder(lib):
+    mod = counter(lib, width=6)
+    result = Drdesync(lib).run(mod)
+    region, element = next(iter(result.network.delay_elements.items()))
+    measured = measure_element_delay(mod, lib, element)
+    expected = result.ladder.delay_of(element.length)
+    assert measured == pytest.approx(expected, rel=0.25)
+
+
+def test_eco_extends_after_parasitic_degradation(lib):
+    mod = figure22_circuit(lib)
+    result = Drdesync(lib).run(mod)
+    # fake post-layout extraction that slows one region's cloud a lot
+    region = max(
+        result.network.region_delays, key=result.network.region_delays.get
+    )
+    victim_nets = {
+        net: 0.30
+        for inst_name in result.region_map.regions[region].instances
+        if inst_name in mod.instances
+        for net in mod.instances[inst_name].pins.values()
+    }
+    mod.attributes["net_wire_delay"] = victim_nets
+    report = eco_calibrate(result, lib)
+    assert report.extended >= 1
+    change = next(c for c in report.changes if c.region == region)
+    assert change.new_length > change.old_length
+
+
+def test_eco_preserves_flow_equivalence(lib):
+    mod = figure22_circuit(lib)
+    golden = mod.clone()
+    result = Drdesync(lib).run(mod)
+    run_backend(mod, lib, sdc=result.sdc, target_utilization=0.90)
+    eco_calibrate(result, lib)
+    assert mod.check() == []
+    report = check_flow_equivalence(
+        golden,
+        result,
+        lib,
+        cycles=8,
+        stimulus=lambda k: {f"din[{i}]": ((k * 5 + 1) >> i) & 1 for i in range(4)},
+    )
+    assert report.equivalent, report.mismatches[:3]
+
+
+def test_eco_extension_is_idempotent_when_matched(lib):
+    mod = counter(lib, width=6)
+    result = Drdesync(lib).run(mod)
+    first = eco_calibrate(result, lib)
+    second = eco_calibrate(result, lib)
+    assert second.extended == 0
+
+
+# ----------------------------------------------------------------------
+# floorplan constraints for delay elements
+# ----------------------------------------------------------------------
+
+def test_proximity_report_and_constraints(lib):
+    mod = figure22_circuit(lib)
+    result = Drdesync(lib).run(mod)
+    placement = place(mod, lib, target_utilization=0.90)
+    before = delay_element_proximity(mod, placement, result.network)
+    moved = apply_floorplan_constraints(mod, placement, result.network)
+    after = delay_element_proximity(mod, placement, result.network)
+    assert moved > 0
+    assert before.per_region
+    assert after.mean_distance <= before.mean_distance
+    # constrained cells stay inside the core
+    for x, y in placement.locations.values():
+        assert 0 <= x <= placement.core_width + 1e-6
+        assert 0 <= y <= placement.core_height + 1e-6

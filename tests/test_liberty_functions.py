@@ -1,0 +1,81 @@
+"""Tests for liberty boolean function parsing and evaluation."""
+
+import pytest
+
+from repro.liberty import (
+    FunctionParseError,
+    compile_function,
+    expr_inputs,
+    expr_to_text,
+    literal_count,
+    parse_function,
+)
+from repro.liberty.functions import evaluate
+
+
+@pytest.mark.parametrize(
+    "text,values,expected",
+    [
+        ("A * B", {"A": 1, "B": 1}, 1),
+        ("A * B", {"A": 1, "B": 0}, 0),
+        ("A + B", {"A": 0, "B": 0}, 0),
+        ("A + B", {"A": 0, "B": 1}, 1),
+        ("!A", {"A": 0}, 1),
+        ("A'", {"A": 1}, 0),
+        ("A ^ B", {"A": 1, "B": 1}, 0),
+        ("A ^ B", {"A": 1, "B": 0}, 1),
+        ("!(A * B)", {"A": 1, "B": 1}, 0),
+        ("(A B)", {"A": 1, "B": 1}, 1),  # juxtaposition AND
+        ("(A * !S) + (B * S)", {"A": 0, "B": 1, "S": 1}, 1),
+        ("(A * !S) + (B * S)", {"A": 0, "B": 1, "S": 0}, 0),
+        ("1", {}, 1),
+        ("0", {}, 0),
+    ],
+)
+def test_evaluation(text, values, expected):
+    fn = compile_function(text)
+    assert fn(values) == expected
+
+
+def test_unknown_propagation():
+    fn = compile_function("A * B")
+    assert fn({"A": 0, "B": None}) == 0  # controlled
+    assert fn({"A": 1, "B": None}) is None
+    fn_or = compile_function("A + B")
+    assert fn_or({"A": 1, "B": None}) == 1
+    assert fn_or({"A": 0, "B": None}) is None
+    fn_xor = compile_function("A ^ B")
+    assert fn_xor({"A": 1, "B": None}) is None
+
+
+def test_inputs_extraction():
+    expr = parse_function("((D * RN) * !SE) + (SI * SE)")
+    assert expr_inputs(expr) == frozenset({"D", "RN", "SE", "SI"})
+
+
+def test_double_negation_collapses():
+    expr = parse_function("!!A")
+    assert expr == parse_function("A")
+
+
+def test_literal_count():
+    assert literal_count(parse_function("(A * B) + (A * C) + (B * C)")) == 6
+    assert literal_count(parse_function("!A")) == 1
+
+
+def test_round_trip_through_text():
+    for text in ["!(A * B)", "(A * !S) + (B * S)", "A ^ B ^ CI"]:
+        expr = parse_function(text)
+        again = parse_function(expr_to_text(expr))
+        assert again == expr
+
+
+@pytest.mark.parametrize("bad", ["A +", "(A", "A & B", ""])
+def test_malformed_rejected(bad):
+    with pytest.raises(FunctionParseError):
+        parse_function(bad)
+
+
+def test_evaluate_missing_input_is_unknown():
+    expr = parse_function("A * B")
+    assert evaluate(expr, {"A": 1}) is None

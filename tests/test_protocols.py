@@ -1,0 +1,104 @@
+"""Figure 2.4 protocol-zoo tests: state counts and classifications."""
+
+import pytest
+
+from repro.stg import (
+    DESYNC_MODEL,
+    FALL_DECOUPLED,
+    FULLY_DECOUPLED,
+    NON_OVERLAPPING,
+    OVERLAPPING,
+    PROTOCOL_LADDER,
+    PROTOCOLS,
+    SEMI_DECOUPLED,
+    SIMPLE,
+    ladder_report,
+)
+
+GOOD = [FULLY_DECOUPLED, DESYNC_MODEL, SEMI_DECOUPLED, SIMPLE, NON_OVERLAPPING]
+
+
+@pytest.mark.parametrize(
+    "protocol,expected_states",
+    [
+        (FULLY_DECOUPLED, 10),
+        (DESYNC_MODEL, 8),
+        (SEMI_DECOUPLED, 6),
+        (SIMPLE, 5),
+        (NON_OVERLAPPING, 4),
+    ],
+    ids=lambda p: p.name if hasattr(p, "name") else str(p),
+)
+def test_paper_state_counts(protocol, expected_states):
+    """Figure 2.4 annotates the ladder with 10/8/6/5/4 states."""
+    assert protocol.state_count() == expected_states
+    assert protocol.paper_states == expected_states
+
+
+@pytest.mark.parametrize("protocol", GOOD, ids=lambda p: p.name)
+def test_good_protocols_live_and_flow_equivalent(protocol):
+    assert protocol.is_live_pairwise()
+    assert protocol.is_flow_equivalent
+    assert protocol.is_usable
+
+
+@pytest.mark.parametrize("protocol", GOOD, ids=lambda p: p.name)
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+def test_good_protocols_live_in_rings(protocol, n):
+    assert protocol.ring_status(n) == "live"
+
+
+def test_overlapping_not_flow_equivalent():
+    violation = OVERLAPPING.flow_violation()
+    assert violation is not None
+    assert violation.kind == "overwrite"
+    assert not OVERLAPPING.is_usable
+
+
+def test_fall_decoupled_not_usable():
+    """Figure 2.4 marks fall-decoupled 'not live': it breaks in rings."""
+    assert FALL_DECOUPLED.ring_status(4) != "live"
+    assert not FALL_DECOUPLED.is_usable
+
+
+def test_concurrency_strictly_decreases_down_the_ladder():
+    counts = [p.state_count() for p in GOOD]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_ring_state_count_grows_with_size():
+    small = len(
+        __import__("repro.stg.petri", fromlist=["explore"]).explore(
+            SEMI_DECOUPLED.ring_stg(4)
+        ).states
+    )
+    large = len(
+        __import__("repro.stg.petri", fromlist=["explore"]).explore(
+            SEMI_DECOUPLED.ring_stg(6)
+        ).states
+    )
+    assert large > small
+
+
+def test_ladder_report_shape():
+    rows = ladder_report()
+    assert [r["protocol"] for r in rows] == [p.name for p in PROTOCOL_LADDER]
+    by_name = {r["protocol"]: r for r in rows}
+    assert by_name["semi_decoupled"]["states"] == 6
+    assert by_name["semi_decoupled"]["usable"]
+    assert not by_name["overlapping"]["flow_equivalent"]
+    assert by_name["fall_decoupled"]["ring4"] != "live"
+
+
+def test_protocol_registry():
+    assert set(PROTOCOLS) >= {
+        "overlapping",
+        "fully_decoupled",
+        "desync_model",
+        "semi_decoupled",
+        "simple",
+        "non_overlapping",
+        "fall_decoupled",
+        "rise_decoupled",
+    }
+    assert PROTOCOLS["rise_decoupled"].state_count() == 10

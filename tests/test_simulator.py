@@ -1,0 +1,241 @@
+"""Event-driven simulator tests: gates, sequential cells, timing."""
+
+import pytest
+
+from repro.liberty import core9_hs
+from repro.netlist import Module, PortDirection
+from repro.sim import SimulationError, Simulator, SyncTestbench, initialize_registers
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return core9_hs()
+
+
+def test_combinational_evaluation(lib):
+    mod = Module("m")
+    for name in ("a", "b"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("y", PortDirection.OUTPUT)
+    mod.add_instance("u1", "NAND2X1", {"A": "a", "B": "b", "Z": "n"})
+    mod.add_instance("u2", "INVX1", {"A": "n", "Z": "y"})
+    sim = Simulator(mod, lib)
+    for a, b, expected in [(0, 0, 0), (1, 0, 0), (1, 1, 1), (0, 1, 0)]:
+        sim.set_input("a", a)
+        sim.set_input("b", b)
+        sim.settle()
+        assert sim.value("y") == expected
+
+
+def test_unknowns_propagate_until_controlled(lib):
+    mod = Module("m")
+    for name in ("a", "b"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("y", PortDirection.OUTPUT)
+    mod.add_instance("u", "AND2X1", {"A": "a", "B": "b", "Z": "y"})
+    sim = Simulator(mod, lib)
+    sim.set_input("a", 1)
+    sim.settle()
+    assert sim.value("y") is None  # b unknown, a=1 does not control AND
+    sim.set_input("a", 0)
+    sim.settle()
+    assert sim.value("y") == 0  # controlled
+
+
+def test_gate_delays_accumulate(lib):
+    mod = Module("m")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("y", PortDirection.OUTPUT)
+    prev = "a"
+    for i in range(6):
+        out = "y" if i == 5 else f"n{i}"
+        mod.add_instance(f"u{i}", "BUFX1", {"A": prev, "Z": out})
+        prev = out
+    sim = Simulator(mod, lib)
+    events = []
+    sim.watch_nets(lambda t, n, v: events.append((t, n)) if n == "y" else None)
+    sim.set_input("a", 1)
+    sim.settle()
+    assert events and events[0][0] > 0.3  # six buffered stages
+
+
+def test_corner_changes_simulation_speed(lib):
+    def chain_delay(corner):
+        mod = Module("m")
+        mod.add_port("a", PortDirection.INPUT)
+        mod.add_port("y", PortDirection.OUTPUT)
+        mod.add_instance("u", "INVX1", {"A": "a", "Z": "y"})
+        sim = Simulator(mod, lib, corner=corner)
+        events = []
+        sim.watch_nets(lambda t, n, v: events.append(t) if n == "y" else None)
+        sim.set_input("a", 0)
+        sim.settle()
+        events.clear()
+        sim.set_input("a", 1)
+        sim.settle()
+        return events[0]
+
+    assert chain_delay("worst") > chain_delay("best")
+
+
+def test_derate_map_slows_one_instance(lib):
+    mod = Module("m")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("y", PortDirection.OUTPUT)
+    mod.add_instance("u", "INVX1", {"A": "a", "Z": "y"})
+
+    def edge_time(derate_map):
+        sim = Simulator(mod, lib, derate_map=derate_map)
+        events = []
+        sim.watch_nets(lambda t, n, v: events.append(t) if n == "y" else None)
+        sim.set_input("a", 0)
+        sim.settle()
+        events.clear()
+        start = sim.now
+        sim.set_input("a", 1)
+        sim.settle()
+        return events[0] - start
+
+    assert edge_time({"u": 2.0}) == pytest.approx(edge_time(None) * 2.0)
+
+
+def test_flip_flop_captures_on_rising_edge(lib):
+    mod = Module("m")
+    for name in ("d", "ck"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("q", PortDirection.OUTPUT)
+    mod.add_instance("r", "DFFX1", {"D": "d", "CK": "ck", "Q": "q"})
+    sim = Simulator(mod, lib)
+    sim.set_state("r", 0)
+    sim.set_input("ck", 0)
+    sim.set_input("d", 1)
+    sim.settle()
+    assert sim.value("q") == 0  # no edge yet
+    sim.set_input("ck", 1)
+    sim.settle()
+    assert sim.value("q") == 1
+    sim.set_input("d", 0)
+    sim.settle()
+    assert sim.value("q") == 1  # level change is ignored
+    assert len(sim.captures) == 1
+
+
+def test_ff_async_clear_dominates(lib):
+    mod = Module("m")
+    for name in ("d", "ck", "cdn"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("q", PortDirection.OUTPUT)
+    mod.add_instance("r", "DFFCX1", {"D": "d", "CK": "ck", "CDN": "cdn", "Q": "q"})
+    sim = Simulator(mod, lib)
+    sim.set_state("r", 1)
+    sim.set_input("cdn", 1)
+    sim.set_input("d", 1)
+    sim.set_input("ck", 0)
+    sim.settle()
+    sim.set_input("cdn", 0)  # assert async clear (active low)
+    sim.settle()
+    assert sim.value("q") == 0
+
+
+def test_latch_transparency_and_capture(lib):
+    mod = Module("m")
+    for name in ("d", "g"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("q", PortDirection.OUTPUT)
+    mod.add_instance("l", "LDHX1", {"D": "d", "G": "g", "Q": "q"})
+    sim = Simulator(mod, lib)
+    sim.set_state("l", 0)
+    sim.set_input("g", 1)
+    sim.set_input("d", 1)
+    sim.settle()
+    assert sim.value("q") == 1  # transparent
+    sim.set_input("d", 0)
+    sim.settle()
+    assert sim.value("q") == 0  # still following
+    sim.set_input("g", 0)  # close: capture
+    sim.set_input("d", 1)
+    sim.settle()
+    assert sim.value("q") == 0  # held
+    captures = [c for c in sim.captures if c.instance == "l"]
+    assert len(captures) == 1 and captures[0].value == 0
+
+
+def test_clock_gate_cell(lib):
+    mod = Module("m")
+    for name in ("en", "ck"):
+        mod.add_port(name, PortDirection.INPUT)
+    mod.add_port("gck", PortDirection.OUTPUT)
+    mod.add_instance("g", "CKGATEX1", {"EN": "en", "CK": "ck", "GCK": "gck"})
+    sim = Simulator(mod, lib)
+    sim.set_state("g", 0)
+    sim.set_input("en", 0)
+    sim.set_input("ck", 0)
+    sim.settle()
+    sim.set_input("ck", 1)
+    sim.settle()
+    assert sim.value("gck") == 0  # gated off
+    sim.set_input("ck", 0)
+    sim.set_input("en", 1)
+    sim.settle()
+    sim.set_input("ck", 1)
+    sim.settle()
+    assert sim.value("gck") == 1  # enabled
+
+
+def test_toggle_counting(lib):
+    mod = Module("m")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("y", PortDirection.OUTPUT)
+    mod.add_instance("u", "INVX1", {"A": "a", "Z": "y"})
+    sim = Simulator(mod, lib)
+    for value in (0, 1, 0, 1):
+        sim.set_input("a", value)
+        sim.settle()
+    assert sim.toggle_counts["y"] >= 3
+    assert sim.total_toggles() >= 6
+
+
+def test_two_inverter_loop_is_bistable(lib):
+    mod = Module("m")
+    mod.add_port("y", PortDirection.OUTPUT)
+    mod.add_instance("u1", "INVX1", {"A": "y", "Z": "n"})
+    mod.add_instance("u2", "INVX1", {"A": "n", "Z": "y"})
+    sim = Simulator(mod, lib)
+    sim._schedule(0.0, "y", 0)
+    sim.run_until(100.0)
+    assert sim.value("y") == 0 and sim.value("n") == 1
+
+
+def test_event_limit_guards_oscillation(lib):
+    # a three-inverter ring oscillates forever
+    mod = Module("m")
+    mod.add_port("y", PortDirection.OUTPUT)
+    mod.add_instance("u1", "INVX1", {"A": "y", "Z": "n1"})
+    mod.add_instance("u2", "INVX1", {"A": "n1", "Z": "n2"})
+    mod.add_instance("u3", "INVX1", {"A": "n2", "Z": "y"})
+    sim = Simulator(mod, lib)
+    sim._schedule(0.0, "y", 0)
+    with pytest.raises(SimulationError):
+        sim.run_until(1e6, max_events=10000)
+
+
+def test_sync_testbench_counts(lib):
+    from repro.designs.simple import counter
+
+    mod = counter(lib, width=6)
+    sim = Simulator(mod, lib)
+    initialize_registers(sim, 0)
+    bench = SyncTestbench(sim, period=4.0)
+    bench.run_cycles(10)
+    assert sim.bus_value([f"count[{i}]" for i in range(6)]) == 10
+
+
+def test_bus_value_with_unknown(lib):
+    mod = Module("m")
+    mod.add_port("a", PortDirection.INPUT, msb=1, lsb=0)
+    sim = Simulator(mod, lib)
+    assert sim.bus_value(["a[0]", "a[1]"]) is None
+    sim.set_input("a[0]", 1)
+    sim.set_input("a[1]", 0)
+    sim.settle()
+    assert sim.bus_value(["a[0]", "a[1]"]) == 1

@@ -1,0 +1,186 @@
+"""STA engine tests: graph construction, propagation, loop breaking, SDC."""
+
+import pytest
+
+from repro.liberty import core9_hs
+from repro.netlist import Module, PortDirection, parse_verilog
+from repro.sta import (
+    SdcFile,
+    analyze,
+    build_timing_graph,
+    compute_net_loads,
+    min_clock_period,
+    path_to_text,
+    propagate,
+    region_critical_path,
+)
+from repro.sta.sdc import CreateClock, PathDelay, SetDisableTiming, SetSizeOnly
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return core9_hs()
+
+
+def chain_module(depth=4):
+    """in -> DFF -> INV chain (depth) -> DFF."""
+    mod = Module("chain")
+    mod.add_port("din", PortDirection.INPUT)
+    mod.add_port("clk", PortDirection.INPUT)
+    mod.add_port("dout", PortDirection.OUTPUT)
+    mod.add_instance("r_in", "DFFX1", {"D": "din", "CK": "clk", "Q": "q0"})
+    prev = "q0"
+    for i in range(depth):
+        out = f"n{i}"
+        mod.add_instance(f"inv{i}", "INVX1", {"A": prev, "Z": out})
+        prev = out
+    mod.add_instance("r_out", "DFFX1", {"D": prev, "CK": "clk", "Q": "dout"})
+    return mod
+
+
+def test_net_loads_sum_pin_caps(lib):
+    mod = chain_module(1)
+    loads = compute_net_loads(mod, lib)
+    inv_cap = lib.cell("INVX1").pins["A"].capacitance
+    assert loads["q0"] == pytest.approx(lib.default_wire_cap + inv_cap)
+
+
+def test_launch_and_capture_nodes(lib):
+    graph = build_timing_graph(chain_module(2), lib)
+    assert ("r_in", "Q") in graph.launch_nodes
+    assert ("r_out", "D") in graph.capture_nodes
+    # clock pins never appear as sinks in combinational mode
+    assert ("r_in", "CK") not in graph.reverse
+
+
+def test_delay_grows_with_chain_depth(lib):
+    d2 = analyze(chain_module(2), lib).critical_delay
+    d8 = analyze(chain_module(8), lib).critical_delay
+    assert d8 > d2
+    # roughly linear: six more inverters
+    per_inv = (d8 - d2) / 6
+    assert 0.01 < per_inv < 0.2
+
+
+def test_corner_derating(lib):
+    mod = chain_module(4)
+    worst = analyze(mod, lib, corner="worst").critical_delay
+    best = analyze(mod, lib, corner="best").critical_delay
+    ratio = worst / best
+    expected = lib.corner("worst").derate / lib.corner("best").derate
+    assert ratio == pytest.approx(expected, rel=1e-6)
+
+
+def test_critical_path_backtrace(lib):
+    report = analyze(chain_module(3), lib)
+    names = [point.node[0] for point in report.path]
+    assert names[0] == "r_in"
+    assert names[-1] == "r_out"
+    assert "inv1" in names
+    text = path_to_text(report)
+    assert "critical delay" in text
+
+
+def test_slack_against_period(lib):
+    mod = chain_module(4)
+    need = min_clock_period(mod, lib)
+    tight = analyze(mod, lib, clock_period=need * 0.5)
+    loose = analyze(mod, lib, clock_period=need * 2.0)
+    assert tight.wns < 0 < loose.wns
+
+
+def test_loop_breaking_cuts_combinational_cycle(lib):
+    mod = Module("loopy")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("y", PortDirection.OUTPUT)
+    # a NAND loop: u1 and u2 feed each other
+    mod.add_instance("u1", "NAND2X1", {"A": "a", "B": "n2", "Z": "n1"})
+    mod.add_instance("u2", "NAND2X1", {"A": "n1", "B": "a", "Z": "n2"})
+    mod.add_instance("u3", "BUFX1", {"A": "n1", "Z": "y"})
+    report = analyze(mod, lib)
+    assert report.broken_edge_count >= 1
+    assert report.critical_delay > 0
+
+
+def test_explicit_disable_prevents_path(lib):
+    mod = Module("m")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("y", PortDirection.OUTPUT)
+    mod.add_instance("u1", "BUFX1", {"A": "a", "Z": "y"})
+    blocked = analyze(mod, lib, disables=[("u1", "A", "Z")])
+    open_report = analyze(mod, lib)
+    assert open_report.critical_delay > 0
+    assert blocked.critical_delay == 0
+
+
+def test_region_restriction(lib):
+    mod = chain_module(6)
+    all_delay = analyze(mod, lib).critical_delay
+    # region containing only the first two inverters and launch register
+    sub = region_critical_path(mod, lib, {"r_in", "inv0", "inv1", "inv2"})
+    assert 0 < sub < all_delay
+
+
+def test_through_sequential_latch_transparency(lib):
+    mod = Module("m")
+    mod.add_port("a", PortDirection.INPUT)
+    mod.add_port("g", PortDirection.INPUT)
+    mod.add_port("y", PortDirection.OUTPUT)
+    mod.add_instance("l1", "LDHX1", {"D": "a", "G": "g", "Q": "q1"})
+    mod.add_instance("u1", "INVX1", {"A": "q1", "Z": "y"})
+    stopped = build_timing_graph(mod, lib)
+    transparent = build_timing_graph(mod, lib, through_sequential=True)
+    assert ("l1", "D") in stopped.capture_nodes
+    # in transparent mode, a D->Q edge exists
+    dq = [
+        e
+        for e in transparent.adjacency.get(("l1", "D"), [])
+        if e.dst == ("l1", "Q")
+    ]
+    assert dq, "latch D->Q transparency edge missing"
+    # with a late-arriving input, the transparent view sees the full
+    # a -> D -> Q -> inv -> y path; the stopped view ends at the D pin
+    late_transparent = propagate(transparent, input_arrival=1.0)
+    late_stopped = propagate(stopped, input_arrival=1.0)
+    assert late_transparent.critical_delay > late_stopped.critical_delay
+
+
+def test_wire_delay_annotation(lib):
+    mod = chain_module(2)
+    base = analyze(mod, lib).critical_delay
+    mod.attributes["net_wire_delay"] = {"n0": 0.5}
+    slow = analyze(mod, lib).critical_delay
+    assert slow == pytest.approx(base + 0.5 * lib.corner("worst").derate, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# SDC
+# ----------------------------------------------------------------------
+
+def test_sdc_round_trip():
+    sdc = SdcFile()
+    sdc.add(CreateClock("Clk", 2.4, (0.0, 1.2), ["clk"], "ports"))
+    sdc.add(
+        CreateClock(
+            "ClkM", 2.4, (1.0, 2.4), ["G1_Ctrl/master/g_out/Z"], "pins"
+        )
+    )
+    sdc.add(SetDisableTiming("G1_Ctrl/u_rx", from_pin="A", to_pin="Z"))
+    sdc.add(SetDisableTiming("G1_Ctrl/u_ax", to_pin="B"))
+    sdc.add(SetSizeOnly(["G1_Ctrl/u1", "G1_Ctrl/u2"]))
+    sdc.add(PathDelay("max", 1.5, "G1_Ctrl/ro", "G2_Ctrl/ri"))
+    text = sdc.to_text()
+    again = SdcFile.parse(text)
+    assert len(again.constraints) == len(sdc.constraints)
+    clocks = again.clocks()
+    assert clocks[0].name == "Clk" and clocks[0].period == pytest.approx(2.4)
+    assert clocks[1].source_kind == "pins"
+    disables = again.disable_tuples()
+    assert ("G1_Ctrl/u_rx", "A", "Z") in disables
+    assert ("G1_Ctrl/u_ax", None, "B") in disables
+    assert "G1_Ctrl/u1" in again.size_only_cells()
+
+
+def test_sdc_rejects_unknown_line():
+    with pytest.raises(ValueError):
+        SdcFile.parse("set_load 5 [get_nets n1]")

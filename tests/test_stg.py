@@ -1,0 +1,128 @@
+"""STG engine tests: reachability, liveness, CSC, flow-equivalence."""
+
+import pytest
+
+from repro.stg import (
+    Stg,
+    StgError,
+    check_consistency,
+    check_flow_equivalence,
+    csc_conflicts,
+    explore,
+    has_csc,
+    is_deadlock_free,
+    is_live,
+    t,
+)
+
+
+def ring_stg():
+    """A+ -> A- -> B+ -> B- -> A+ ring (non-overlapping protocol)."""
+    stg = Stg(outputs=["A", "B"])
+    stg.arc("A-", "B+")
+    stg.arc("B-", "A+", marked=True)
+    return stg
+
+
+def test_transition_parsing():
+    assert t("a+").signal == "a" and t("a+").polarity
+    assert t("b-").name == "b-"
+    assert t("a+/1").tag == 1
+    with pytest.raises(ValueError):
+        t("a")
+
+
+def test_ring_reachability():
+    graph = explore(ring_stg())
+    assert graph.state_count == 4
+    assert is_deadlock_free(graph)
+    assert is_live(graph)
+    assert check_consistency(graph)
+
+
+def test_alternation_enforced():
+    stg = ring_stg()
+    state = stg.initial_state()
+    enabled = [stg.transitions[i].name for i in stg.enabled(state)]
+    assert enabled == ["A+"]  # A- blocked: A is 0
+    state = stg.fire(state, stg.enabled(state)[0])
+    enabled = [stg.transitions[i].name for i in stg.enabled(state)]
+    assert "A+" not in enabled
+
+
+def test_unsafe_net_detected():
+    stg = Stg(outputs=["A", "B"])
+    # B- can fire twice pushing two tokens into the same place
+    stg.arc("B-", "A+", marked=True)
+    stg.arc("A+", "B+", marked=True)
+    # nothing constrains B's cycle: B+ B- B+ B- overflows B- -> A+
+    with pytest.raises(StgError):
+        graph = explore(stg)
+        # firing exploration itself raises; keep for clarity
+        assert graph
+
+
+def test_deadlocked_stg():
+    stg = Stg(outputs=["A", "B"])
+    stg.arc("A+", "B+")
+    stg.arc("B+", "A+")  # circular wait, no token
+    graph = explore(stg)
+    assert not is_deadlock_free(graph)
+    assert not is_live(graph)
+
+
+def test_liveness_requires_all_transitions_fire():
+    stg = Stg(outputs=["A", "B"])
+    stg.arc("A-", "A+", marked=True)
+    # B's transitions exist but can never fire (unmarked mutual wait)
+    stg.arc("B+", "B-")
+    stg.arc("B-", "B+")
+    graph = explore(stg)
+    assert not is_live(graph)
+
+
+def test_csc_holds_for_simple_handshake():
+    stg = Stg(inputs=["r"], outputs=["y"])
+    stg.arc("r+", "y+")
+    stg.arc("y+", "r-")
+    stg.arc("r-", "y-")
+    stg.arc("y-", "r+", marked=True)
+    assert has_csc(explore(stg))
+
+
+def test_csc_violation_detected():
+    """The bare non-overlapping ring lacks CSC: the code (A,B)=(0,0)
+    occurs both before A+ and before B+, enabling different outputs --
+    an implementation needs internal state to disambiguate."""
+    graph = explore(ring_stg())
+    conflicts = csc_conflicts(graph)
+    assert conflicts, "expected a CSC conflict on code (0, 0)"
+    assert not has_csc(graph)
+
+
+def test_flow_equivalence_of_safe_ring():
+    assert check_flow_equivalence(ring_stg()) is None
+
+
+def test_flow_equivalence_overwrite_detected():
+    # upstream may re-open and capture again before downstream stored
+    # the previous item (the 'overlapping' protocol of Figure 2.4)
+    stg = Stg(outputs=["A", "B"])
+    stg.arc("A+", "A-")
+    stg.arc("A+", "B+")
+    stg.arc("B+", "B-")
+    stg.arc("B+", "A+", marked=True)
+    violation = check_flow_equivalence(stg)
+    assert violation is not None
+    assert violation.kind == "overwrite"
+
+
+def test_flow_equivalence_duplication_detected():
+    # B free-runs: captures repeatedly without new data from A
+    stg = Stg(outputs=["A", "B"])
+    stg.arc("B+", "B-")
+    stg.arc("B-", "B+", marked=True)
+    stg.arc("B-", "A+")
+    violation = check_flow_equivalence(stg)
+    assert violation is not None
+    assert violation.kind == "duplication"
