@@ -9,6 +9,10 @@
 4. the road not taken: completion detection (section 2.4.4) modelled
    as the paper describes it -- ~2x combinational area/power for
    average-case instead of matched worst-case delay.
+
+The reduced-DLX netlists these ablations share come from the
+``dlx_factory`` fixture, so generation happens once per parameter set
+and later runs start from the engine cache.
 """
 
 from conftest import emit, run_once
@@ -16,7 +20,7 @@ from conftest import emit, run_once
 import networkx as nx
 
 from repro.desync import DesyncOptions, Drdesync
-from repro.designs import dlx_core, figure22_circuit
+from repro.designs import figure22_circuit
 from repro.flow import area_report
 from repro.liberty import build_gatefile
 from repro.netlist import parse_verilog
@@ -24,13 +28,11 @@ from repro.perf import max_cycle_ratio
 from repro.stg import PROTOCOLS, explore
 
 
-def test_ablation_grouping_heuristics(benchmark, hs_library):
+def test_ablation_grouping_heuristics(benchmark, hs_library, dlx_factory):
     def run():
         rows = []
         for clean in (True, False):
-            module = dlx_core(
-                hs_library, registers=8, multiplier=False, width=16
-            )
+            module = dlx_factory(registers=8, multiplier=False, width=16)
             result = Drdesync(hs_library).run(
                 module, DesyncOptions(clean=clean)
             )
@@ -192,7 +194,7 @@ def test_ablation_protocol_concurrency(benchmark, hs_library):
     )
 
 
-def test_ablation_completion_detection_model(benchmark, hs_library):
+def test_ablation_completion_detection_model(benchmark, hs_library, dlx_factory):
     """Section 2.4.4: completion detection vs delay elements.
 
     The paper rejects completion detection because the transformation
@@ -203,7 +205,7 @@ def test_ablation_completion_detection_model(benchmark, hs_library):
     """
 
     def run():
-        module = dlx_core(hs_library, registers=8, multiplier=False, width=16)
+        module = dlx_factory(registers=8, multiplier=False, width=16)
         golden = module.clone()
         result = Drdesync(hs_library).run(module)
         gatefile = result.gatefile

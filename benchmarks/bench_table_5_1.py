@@ -6,16 +6,23 @@ area comparison in the table's layout.  Absolute numbers come from the
 synthetic CORE9-class library and the simplified P&R, so the *shape* is
 what reproduces: the overhead is dominated by flip-flop substitution
 (paper: sequential +17.66%, cell area +6.5%, core +13.4%).
+
+The experiment runs on the flow engine: netlist generation, the
+desynchronization stages (including the STA-characterised delay
+ladder) and P&R all cache under ``.repro_cache/``, and the benchmark
+re-runs the whole comparison warm to verify the cache actually short
+circuits the flow -- the journal (``results/table_5_1_journal.jsonl``)
+records the hits, and ``results/engine-stats.json`` keeps the stage
+timings and hit rate for the perf trajectory.
 """
 
-from conftest import emit, run_once
+import os
+import time
 
-from repro.designs import dlx_core
-from repro.flow import (
-    compare_implementations,
-    implement_desynchronized,
-    implement_synchronous,
-)
+from conftest import RESULTS_DIR, emit, run_once
+
+from repro.engine import write_engine_stats
+from repro.flow.implementation import implement_comparison
 
 PAPER = {
     "Post Synthesis": {
@@ -31,20 +38,70 @@ PAPER = {
     },
 }
 
+#: stages the warm run must load from cache instead of re-running
+MUST_HIT = ("generate.dlx", "desync:delays", "desync:import")
 
-def test_table_5_1_dlx_area(benchmark, hs_library):
+
+def _implement(engine, dlx_factory, library):
+    sync_module = dlx_factory(engine=engine)
+    desync_module = sync_module.clone()
+    _sync, _desync, table = implement_comparison(
+        "DLX",
+        sync_module,
+        desync_module,
+        library,
+        sync_utilization=0.95,
+        desync_utilization=0.91,
+        engine=engine,
+    )
+    return table
+
+
+def test_table_5_1_dlx_area(benchmark, hs_library, dlx_factory, make_engine):
+    journal_path = os.path.join(RESULTS_DIR, "table_5_1_journal.jsonl")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    engine = make_engine(journal_path=journal_path)
+
     def run():
-        sync_module = dlx_core(hs_library)
-        desync_module = sync_module.clone()
-        sync = implement_synchronous(
-            sync_module, hs_library, target_utilization=0.95
-        )
-        desync = implement_desynchronized(
-            desync_module, hs_library, target_utilization=0.91
-        )
-        return compare_implementations("DLX", sync, desync)
+        return _implement(engine, dlx_factory, hs_library)
 
+    start = time.perf_counter()
     table = run_once(benchmark, run)
+    cold_time = time.perf_counter() - start
+    cold_events = engine.journal.select("stage_end")
+    cold_misses = sum(1 for e in cold_events if e.get("cache") == "miss")
+
+    # -- warm re-run: same cache, fresh modules ------------------------
+    start = time.perf_counter()
+    warm_table = _implement(engine, dlx_factory, hs_library)
+    warm_time = time.perf_counter() - start
+
+    warm_events = engine.journal.select("stage_end")[len(cold_events):]
+    warm_hits = {e["stage"] for e in warm_events if e.get("cache") == "hit"}
+    for stage in MUST_HIT:
+        assert stage in warm_hits, (
+            f"warm run should load {stage!r} from cache, hits: "
+            f"{sorted(warm_hits)}"
+        )
+    assert warm_table.phases == table.phases, "cache must not change results"
+    if cold_misses > 0:
+        # only meaningful when the first run actually executed stages
+        assert warm_time * 2 <= cold_time, (
+            f"warm run ({warm_time:.2f}s) should be >=2x faster than "
+            f"cold ({cold_time:.2f}s)"
+        )
+
+    stats = write_engine_stats(
+        os.path.join(RESULTS_DIR, "engine-stats.json"),
+        engine.results,
+        cache=engine.cache,
+        extra={
+            "benchmark": "table_5_1",
+            "cold_s": round(cold_time, 3),
+            "warm_s": round(warm_time, 3),
+        },
+    )
+    engine.journal.close()
 
     lines = [table.to_text(), "", "paper reference (ST CORE9 90nm, Astro):"]
     for phase, rows in PAPER.items():
@@ -53,6 +110,11 @@ def test_table_5_1_dlx_area(benchmark, hs_library):
             lines.append(
                 f"{name:28s} {sync_v:>14.2f} {desync_v:>14.2f} {ovhd:>8.2f}"
             )
+    lines.append("")
+    lines.append(
+        f"engine: cold {cold_time:.2f}s -> warm {warm_time:.2f}s, "
+        f"cache hit rate {stats['cache']['hit_rate']:.0%}"
+    )
     emit("table_5_1", "\n".join(lines))
 
     synthesis = table.phases["Post Synthesis"]

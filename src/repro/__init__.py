@@ -21,13 +21,14 @@ Quick start::
     print(result.export_sdc())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import netlist  # noqa: F401
 from . import liberty  # noqa: F401
 from . import sta  # noqa: F401
 from . import stg  # noqa: F401
 from . import desync  # noqa: F401
+from . import engine  # noqa: F401
 from . import dft  # noqa: F401
 from . import sim  # noqa: F401
 from . import physical  # noqa: F401

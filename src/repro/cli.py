@@ -8,6 +8,17 @@ Usage::
              [--library hs|ll | --liberty file.lib]
              [--group auto|single] [--false-path NET ...]
              [--margin 0.10] [--mux-taps 8] [--gatefile out.gatefile]
+             [--jobs 4] [--journal run.jsonl]
+             [--cache-dir DIR | --no-cache]
+
+Exit codes: 0 on success, 1 on a usage error (bad arguments), 2 on a
+flow error (unreadable input, grouping failure, export failure, ...).
+
+The conversion runs on the :mod:`repro.engine` flow engine: stage
+results are cached content-addressed under ``--cache-dir`` (default
+``.repro_cache``; disable with ``--no-cache``), ``--jobs N`` runs
+independent stages on a thread pool, and ``--journal`` records the
+per-stage JSONL run journal.
 """
 
 from __future__ import annotations
@@ -16,16 +27,38 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .desync.tool import DesyncOptions, Drdesync
+from .engine.cache import ArtifactCache
+from .engine.executor import FlowEngine
+from .engine.journal import RunJournal
 from .liberty.core9 import core9_hs, core9_ll
 from .liberty.parser import read_liberty
 from .netlist.verilog import read_verilog
 
+EXIT_OK = 0
+EXIT_USAGE = 1
+EXIT_FLOW = 2
+
+
+class UsageError(Exception):
+    """Bad command-line arguments (exit code 1)."""
+
+
+class _ArgumentParser(argparse.ArgumentParser):
+    """argparse that raises instead of calling ``sys.exit(2)``."""
+
+    def error(self, message: str):
+        raise UsageError(message)
+
 
 def build_argument_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _ArgumentParser(
         prog="drdesync",
         description="Desynchronize a gate-level synchronous Verilog netlist",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"drdesync {__version__}"
     )
     parser.add_argument("input", help="gate-level Verilog netlist")
     parser.add_argument("-o", "--output", help="desynchronized Verilog output")
@@ -68,14 +101,35 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--gatefile", help="also write the generated gatefile"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent flow stages on N threads (default 1)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="write the structured JSONL run journal to FILE",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        metavar="DIR",
+        help="stage artifact cache directory (default .repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the stage artifact cache",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary"
     )
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_argument_parser().parse_args(argv)
-
+def _run_flow(args: argparse.Namespace) -> int:
     if args.liberty:
         library = read_liberty(args.liberty)
     else:
@@ -86,27 +140,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         netlist.set_top(args.top)
     module = netlist.top
 
-    tool = Drdesync(library)
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    journal = RunJournal(args.journal) if args.journal else RunJournal()
+    engine = FlowEngine(cache=cache, journal=journal, jobs=args.jobs)
+
+    tool = Drdesync(library, engine=engine)
     options = DesyncOptions(
         grouping=args.group,
         false_path_nets=tuple(args.false_path),
         delay_margin=args.margin,
         delay_mux_taps=args.mux_taps,
     )
-    result = tool.run(module, options)
+    try:
+        result = tool.run(module, options)
 
-    if args.gatefile:
-        with open(args.gatefile, "w") as handle:
-            handle.write(tool.gatefile.to_text())
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(result.export_verilog())
-    if args.blif:
-        with open(args.blif, "w") as handle:
-            handle.write(result.export_blif())
-    if args.sdc:
-        with open(args.sdc, "w") as handle:
-            handle.write(result.export_sdc())
+        if args.gatefile:
+            with open(args.gatefile, "w") as handle:
+                handle.write(tool.gatefile.to_text())
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(result.export_verilog())
+        if args.blif:
+            with open(args.blif, "w") as handle:
+                handle.write(result.export_blif())
+        if args.sdc:
+            with open(args.sdc, "w") as handle:
+                handle.write(result.export_sdc())
+    finally:
+        journal.close()
 
     if not args.quiet:
         summary = result.summary()
@@ -120,7 +181,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"  region {region:8s} cloud delay {delay:7.3f} ns, "
                     f"delay element {element.length} levels"
                 )
-    return 0
+        run = engine.results[-1]
+        cached = len(run.cached_stages())
+        print(
+            f"  engine: {len(run.records)} stages, {cached} cached, "
+            f"{run.wall_time:.3f}s wall, jobs={engine.jobs}, "
+            f"cache={'off' if cache is None else 'on'}"
+        )
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_argument_parser()
+    try:
+        args = parser.parse_args(argv)
+    except UsageError as error:
+        print(f"drdesync: error: {error}", file=sys.stderr)
+        print(parser.format_usage(), end="", file=sys.stderr)
+        return EXIT_USAGE
+    except SystemExit as exit_:  # --version / --help
+        return EXIT_OK if not exit_.code else EXIT_USAGE
+
+    try:
+        return _run_flow(args)
+    except Exception as error:
+        print(f"drdesync: flow error: {error}", file=sys.stderr)
+        return EXIT_FLOW
 
 
 if __name__ == "__main__":

@@ -25,25 +25,16 @@ import networkx as nx
 from ..liberty.gatefile import Gatefile, build_gatefile
 from ..liberty.model import Library
 from ..liberty.techmap import GateChooser
-from ..netlist.cleanup import clean_logic, resolve_assigns, simplify_names
 from ..netlist.core import Module
 from ..netlist.verilog import write_module
 from ..netlist.blif import write_blif_module
 from ..sta.sdc import SdcFile
-from .constraints import disables_for_sta, generate_constraints
+from .constraints import disables_for_sta
 from .controllers import ensure_controller_cell
-from .ddg import build_ddg
 from .delays import DelayLadder, characterize_ladder
-from .domains import analyze_clock_domains, select_domain
-from .ffsub import SubstitutionResult, substitute_flip_flops
-from .network import ControlNetwork, insert_control_network
-from .regions import (
-    RegionMap,
-    group_regions,
-    manual_regions,
-    single_region,
-    validate_independence,
-)
+from .ffsub import SubstitutionResult
+from .network import ControlNetwork
+from .regions import RegionMap
 
 
 @dataclass
@@ -121,7 +112,13 @@ class Drdesync:
 
     One instance binds a technology library (gatefile generated on
     construction -- the library-preparation phase of section 3.1);
-    :meth:`run` desynchronizes one design.
+    :meth:`run` desynchronizes one design by executing the section 3.2
+    stage graph on a :class:`repro.engine.executor.FlowEngine`.  The
+    default engine is serial and uncached (identical behaviour to the
+    historical monolithic driver); passing an engine with an artifact
+    cache and/or ``jobs > 1`` makes repeat conversions resume from the
+    cached stage prefix and characterises the delay ladder in parallel
+    with the netlist stages.
     """
 
     def __init__(
@@ -130,122 +127,96 @@ class Drdesync:
         ladder: Optional[DelayLadder] = None,
         corner: str = "worst",
         max_delay_levels: int = 240,
+        engine: Optional["FlowEngine"] = None,
     ):
+        from ..engine.executor import FlowEngine
+
         self.library = library
         ensure_controller_cell(library)
         self.gatefile = build_gatefile(library)
         self.chooser = GateChooser(library)
+        self.corner = corner
         # the paper characterises 1..100 levels; larger designs with
         # register-file read + ALU clouds need a longer ladder
-        self.ladder = ladder or characterize_ladder(
-            library, corner, max_length=max_delay_levels
-        )
+        self.max_delay_levels = max_delay_levels
+        self.engine = engine or FlowEngine()
+        self._ladder = ladder
+
+    @property
+    def ladder(self) -> DelayLadder:
+        """The characterised delay ladder (lazy; cached engine runs
+        reuse the ladder of the ``delays`` stage instead)."""
+        if self._ladder is None:
+            self._ladder = characterize_ladder(
+                self.library, self.corner, max_length=self.max_delay_levels
+            )
+        return self._ladder
 
     # ------------------------------------------------------------------
+    def build_stages(
+        self,
+        options: Optional[DesyncOptions] = None,
+        prefix: str = "",
+        module_input: str = "module.input",
+    ):
+        """The tool's stage list, for embedding into a larger graph."""
+        from ..engine.stages import desync_stages
+
+        return desync_stages(
+            self.library,
+            self.gatefile,
+            self.chooser,
+            options or DesyncOptions(),
+            corner=self.corner,
+            max_delay_levels=self.max_delay_levels,
+            ladder=self._ladder,
+            prefix=prefix,
+            module_input=module_input,
+        )
+
+    def assemble_result(
+        self, module: Module, artifacts, prefix: str = ""
+    ) -> DesyncResult:
+        """Build a :class:`DesyncResult` from engine artifacts.
+
+        ``module`` (the caller's object) adopts the final netlist when
+        a cache hit made the engine produce a fresh copy, preserving
+        the tool's in-place rewrite contract.
+        """
+        final = artifacts[prefix + "module.network"]
+        if final is not module:
+            module.copy_from(final)
+        import_stats = dict(artifacts[prefix + "import_stats"])
+        import_stats.update(artifacts[prefix + "clean_stats"])
+        self._ladder = artifacts[prefix + "ladder"]
+        return DesyncResult(
+            module=module,
+            gatefile=self.gatefile,
+            region_map=artifacts[prefix + "region_map.ffsub"],
+            ddg=artifacts[prefix + "ddg"],
+            substitution=artifacts[prefix + "substitution"],
+            network=artifacts[prefix + "network"],
+            ladder=self._ladder,
+            sdc=artifacts[prefix + "sdc"],
+            import_stats=import_stats,
+        )
+
     def run(
         self, module: Module, options: Optional[DesyncOptions] = None
     ) -> DesyncResult:
         """Desynchronize ``module`` in place and return the result."""
+        from ..engine.graph import FlowGraph
+
         options = options or DesyncOptions()
-
-        # -- 3.2.1 design import hygiene
-        import_stats = {
-            "assigns_resolved": resolve_assigns(module),
-            "names_simplified": simplify_names(module),
-        }
-
-        # derive the clock period before touching the netlist
-        clock_period = options.clock_period
-        if clock_period is None:
-            from ..sta.analysis import min_clock_period
-
-            clock_period = min_clock_period(
-                module, self.library, options.corner
-            )
-
-        # -- 3.2.2 automatic region creation (with logic cleaning)
-        if options.clean and options.grouping == "auto":
-            import_stats.update(
-                clean_logic(module, self.gatefile, options.false_path_nets)
-            )
-        if options.grouping == "auto":
-            region_map = group_regions(
-                module, self.gatefile, options.false_path_nets
-            )
-        elif options.grouping == "single":
-            region_map = single_region(module)
-        elif options.grouping == "manual":
-            region_map = manual_regions(module, options.manual_assignment)
-        else:
-            raise ValueError(f"unknown grouping mode {options.grouping!r}")
-
-        problems = validate_independence(
-            module, self.gatefile, region_map, options.false_path_nets
+        graph = FlowGraph("drdesync")
+        graph.add_stages(self.build_stages(options))
+        result = self.engine.run(
+            graph,
+            initial={"module.input": module},
+            label=f"drdesync:{module.name}",
         )
-        if problems:
-            raise ValueError(
-                "regions are not combinationally independent: "
-                + "; ".join(problems[:5])
-            )
-
-        # clock-domain analysis: single-clock designs convert whole;
-        # multi-clock designs need an explicit domain selection and the
-        # other domains stay synchronous (partial desynchronization)
-        domains = analyze_clock_domains(module, self.gatefile)
-        selected = select_domain(domains, options.clock_domain)
-        foreign: set = set()
-        if selected is not None:
-            for root, members in domains.domains.items():
-                foreign.update(members - selected)
-            for name in foreign:
-                region = region_map.instance_region.pop(name, None)
-                if region is not None and region in region_map.regions:
-                    region_map.regions[region].instances.discard(name)
-
-        # -- 3.2.3 flip-flop substitution
-        substitution = substitute_flip_flops(
-            module, self.gatefile, self.library, region_map, self.chooser,
-            exclude=foreign,
-        )
-
-        # -- 3.2.4 data-dependency graph
-        ddg = build_ddg(
-            module, self.gatefile, region_map, options.false_path_nets,
-            env_instances=foreign,
-        )
-
-        # -- 3.2.5 / 3.2.6 delay elements + control network
-        network = insert_control_network(
-            module,
-            self.library,
-            self.gatefile,
-            region_map,
-            ddg,
-            self.ladder,
-            chooser=self.chooser,
-            delay_margin=options.delay_margin,
-            mux_taps=options.delay_mux_taps,
-            mux_headroom=options.delay_mux_headroom,
-            reset_port=options.reset_port,
-            corner=options.corner,
-        )
-
-        # -- 3.2.7 design export artefacts
-        sdc = generate_constraints(
-            module, network, clock_period, options.delay_margin
-        )
-
-        return DesyncResult(
-            module=module,
-            gatefile=self.gatefile,
-            region_map=region_map,
-            ddg=ddg,
-            substitution=substitution,
-            network=network,
-            ladder=self.ladder,
-            sdc=sdc,
-            import_stats=import_stats,
-        )
+        result.raise_first_failure()
+        return self.assemble_result(module, result.artifacts)
 
 
 def desynchronize(

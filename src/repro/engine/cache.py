@@ -1,0 +1,344 @@
+"""Content-addressed artifact cache for the flow engine.
+
+Two pieces live here:
+
+- :func:`stable_hash` -- a deterministic fingerprint of the objects the
+  flow passes between stages (``Module``, ``Library``, option
+  dataclasses, plain containers).  The hash is computed from canonical
+  *content* (sorted dict items, dataclass fields, netlist connectivity)
+  so it is stable across processes and Python hash randomisation --
+  which is what lets a disk cache survive between runs.
+- :class:`ArtifactCache` -- a pickle-backed store keyed by stage keys
+  (see :mod:`repro.engine.executor`), with hit/miss accounting and an
+  enabled/disabled switch (the ``--no-cache`` escape hatch).
+
+Stage keys chain Merkle-style: a derived artifact's fingerprint is the
+key of the stage that produced it, so only *root* inputs (the imported
+netlist, the library, the option values) are ever content-hashed.
+Changing one gate in the input design, one option field, or the library
+variant therefore changes exactly the keys of the stages downstream of
+that change -- the basis of the invalidation tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from ..netlist.core import Module
+
+#: bump to invalidate every cache entry after an incompatible change to
+#: the canonical serialisation below
+HASH_SCHEMA = "1"
+
+
+class HashError(TypeError):
+    """Raised when an object cannot be canonically fingerprinted."""
+
+
+def _feed(hasher, obj: Any, depth: int = 0) -> None:
+    """Feed the canonical byte form of ``obj`` into ``hasher``."""
+    if depth > 50:
+        raise HashError("stable_hash recursion too deep")
+    if obj is None:
+        hasher.update(b"N")
+    elif obj is True or obj is False:
+        hasher.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        hasher.update(b"I" + str(obj).encode())
+    elif isinstance(obj, float):
+        hasher.update(b"F" + repr(obj).encode())
+    elif isinstance(obj, str):
+        hasher.update(b"S" + obj.encode())
+    elif isinstance(obj, bytes):
+        hasher.update(b"Y" + obj)
+    elif isinstance(obj, Enum):
+        hasher.update(b"E" + type(obj).__name__.encode())
+        _feed(hasher, obj.value, depth + 1)
+    elif isinstance(obj, (list, tuple)):
+        hasher.update(b"L" + str(len(obj)).encode())
+        for item in obj:
+            _feed(hasher, item, depth + 1)
+    elif isinstance(obj, (set, frozenset)):
+        hasher.update(b"T" + str(len(obj)).encode())
+        for digest in sorted(stable_hash(item) for item in obj):
+            hasher.update(digest.encode())
+    elif isinstance(obj, dict):
+        hasher.update(b"D" + str(len(obj)).encode())
+        try:
+            items = sorted(obj.items())
+        except TypeError:
+            items = sorted(obj.items(), key=lambda kv: stable_hash(kv[0]))
+        for key, value in items:
+            _feed(hasher, key, depth + 1)
+            _feed(hasher, value, depth + 1)
+    elif isinstance(obj, Module):
+        _feed_module(hasher, obj)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        hasher.update(b"C" + type(obj).__qualname__.encode())
+        for fld in dataclasses.fields(obj):
+            hasher.update(fld.name.encode())
+            _feed(hasher, getattr(obj, fld.name), depth + 1)
+    else:
+        _feed_object(hasher, obj, depth)
+
+
+def _feed_module(hasher, module: Module) -> None:
+    """Canonical netlist content: ports, connectivity, attributes."""
+    hasher.update(b"M" + module.name.encode())
+    for name in sorted(module.ports):
+        port = module.ports[name]
+        hasher.update(
+            f"P{name}|{port.direction.value}|{port.msb}|{port.lsb};".encode()
+        )
+    for name in sorted(module.instances):
+        inst = module.instances[name]
+        hasher.update(f"i{name}|{inst.cell}".encode())
+        for pin in sorted(inst.pins):
+            hasher.update(f"|{pin}={inst.pins[pin]}".encode())
+        if inst.attributes:
+            _feed(hasher, inst.attributes, 1)
+    for name in sorted(module.nets):
+        net = module.nets[name]
+        if net.is_constant:
+            hasher.update(f"k{name}={net.constant_value}".encode())
+    _feed(hasher, sorted(module.assigns), 1)
+    _feed(hasher, module.attributes, 1)
+
+
+def _feed_object(hasher, obj: Any, depth: int) -> None:
+    """Generic fallback: public attributes of a plain object.
+
+    Covers ``Library``, ``Gatefile``, ``SdcFile`` constraints and the
+    small bookkeeping classes; private/cached attributes (``_fn_cache``
+    and friends) are deliberately excluded from the fingerprint.
+    """
+    try:
+        state = vars(obj)
+    except TypeError:
+        slots = getattr(type(obj), "__slots__", None)
+        if slots is None:
+            raise HashError(
+                f"cannot fingerprint object of type {type(obj).__name__}"
+            )
+        state = {s: getattr(obj, s) for s in slots if hasattr(obj, s)}
+    hasher.update(b"O" + type(obj).__qualname__.encode())
+    for key in sorted(state):
+        if key.startswith("_"):
+            continue
+        hasher.update(key.encode())
+        _feed(hasher, state[key], depth + 1)
+
+
+def stable_hash(obj: Any) -> str:
+    """Deterministic content fingerprint of ``obj`` (sha256 hex)."""
+    hasher = hashlib.sha256(HASH_SCHEMA.encode())
+    _feed(hasher, obj)
+    return hasher.hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LazyArtifact:
+    """A sidecar artifact deferred until first access.
+
+    Cache hits for stages with large outputs (netlist snapshots) hand
+    these out instead of eagerly unpickling; the executor's artifact
+    map resolves them on first read, so a fully-cached replay only pays
+    the deserialisation cost of the artifacts something actually
+    consumes.
+    """
+
+    __slots__ = ("path", "_value", "_loaded")
+
+    def __init__(self, path: str):
+        self.path = path
+        self._value = None
+        self._loaded = False
+
+    def load(self) -> Any:
+        if not self._loaded:
+            with open(self.path, "rb") as handle:
+                self._value = pickle.load(handle)
+            self._loaded = True
+        return self._value
+
+    def __repr__(self) -> str:
+        state = "loaded" if self._loaded else "deferred"
+        return f"LazyArtifact({os.path.basename(self.path)!r}, {state})"
+
+
+#: artifacts pickling larger than this live in their own sidecar file
+INLINE_LIMIT = 32 * 1024
+
+
+class ArtifactCache:
+    """Disk cache mapping stage keys to pickled artifact dicts.
+
+    An entry is a manifest ``<directory>/<key[:2]>/<key>.pkl`` holding
+    every small artifact inline plus references to per-artifact sidecar
+    files (``<key>.<n>.pkl``) for large ones, so lazy readers can skip
+    deserialising netlist snapshots nobody consumes.  Writes are atomic
+    (tempfile + rename, sidecars before manifest) so concurrent runs
+    sharing one cache directory never observe a torn entry.
+    """
+
+    def __init__(self, directory: str, enabled: bool = True):
+        self.directory = os.path.abspath(directory)
+        self.enabled = enabled
+        self.stats = CacheStats()
+
+    def _path(self, key: str, part: Optional[int] = None) -> str:
+        name = key if part is None else f"{key}.{part}"
+        return os.path.join(self.directory, key[:2], name + ".pkl")
+
+    def _load_manifest(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                manifest = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+        if not isinstance(manifest, dict) or manifest.get("format") != 2:
+            return None
+        for name in manifest["sidecar"].values():
+            if not os.path.isfile(
+                os.path.join(self.directory, key[:2], name)
+            ):
+                return None
+        return manifest
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Load the artifacts stored under ``key`` (``None`` on miss)."""
+        lazy = self.get_lazy(key)
+        if lazy is None:
+            return None
+        return {
+            name: value.load() if isinstance(value, LazyArtifact) else value
+            for name, value in lazy.items()
+        }
+
+    def get_lazy(self, key: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get`, but sidecar artifacts come back as
+        :class:`LazyArtifact` handles instead of loaded objects."""
+        if not self.enabled:
+            return None
+        manifest = self._load_manifest(key)
+        if manifest is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        outputs: Dict[str, Any] = {}
+        try:
+            for name, blob in manifest["inline"].items():
+                outputs[name] = pickle.loads(blob)
+        except (pickle.PickleError, EOFError, AttributeError):
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+        for name, filename in manifest["sidecar"].items():
+            outputs[name] = LazyArtifact(
+                os.path.join(self.directory, key[:2], filename)
+            )
+        return outputs
+
+    def _write_atomic(self, path: str, payload: bytes) -> bool:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def put(self, key: str, value: Dict[str, Any]) -> bool:
+        """Store ``value`` under ``key``; False if unpicklable/disabled."""
+        if not self.enabled:
+            return False
+        os.makedirs(os.path.dirname(self._path(key)), exist_ok=True)
+        inline: Dict[str, bytes] = {}
+        sidecar: Dict[str, str] = {}
+        part = 0
+        for name, artifact in value.items():
+            try:
+                blob = pickle.dumps(
+                    artifact, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except (pickle.PickleError, TypeError):
+                return False
+            if len(blob) <= INLINE_LIMIT:
+                inline[name] = blob
+            else:
+                if not self._write_atomic(self._path(key, part), blob):
+                    return False
+                sidecar[name] = os.path.basename(self._path(key, part))
+                part += 1
+        manifest = {"format": 2, "inline": inline, "sidecar": sidecar}
+        if not self._write_atomic(
+            self._path(key),
+            pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL),
+        ):
+            return False
+        self.stats.stores += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not os.path.isdir(self.directory):
+            return removed
+        for root, _dirs, files in os.walk(self.directory):
+            for name in files:
+                if name.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(root, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.directory):
+            return 0
+        for _root, _dirs, files in os.walk(self.directory):
+            count += sum(1 for name in files if name.endswith(".pkl"))
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactCache({self.directory!r}, enabled={self.enabled}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

@@ -1,0 +1,558 @@
+"""Flow execution: serial and thread-pool executors plus the engine.
+
+The :class:`FlowEngine` schedules a :class:`~repro.engine.graph.FlowGraph`:
+
+- **keys** -- each stage gets a content-addressed key chaining the
+  graph name, stage name/version, its params and the fingerprints of
+  its inputs (root inputs content-hashed, derived inputs identified by
+  the producing stage's key, Merkle style);
+- **cache** -- with an :class:`~repro.engine.cache.ArtifactCache`
+  attached, a key match loads the stage's artifacts from disk instead
+  of running it (status ``cached``);
+- **parallelism** -- ``jobs > 1`` runs independent stages on a
+  ``concurrent.futures`` thread pool; ``jobs == 1`` is the
+  deterministic serial fallback executing stages in topological
+  insertion order on the calling thread;
+- **robustness** -- per-stage timeout and retry policy, and graceful
+  degradation: a failed stage is recorded (journal + result) and its
+  dependents are skipped, but every artifact produced by the healthy
+  part of the graph is still returned.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..netlist.core import Module
+from .cache import ArtifactCache, LazyArtifact, stable_hash
+from .graph import FlowGraph, Stage
+from .journal import RunJournal
+
+
+class ArtifactMap(dict):
+    """Artifact store that materialises lazy cache loads on access.
+
+    Cache hits park :class:`~repro.engine.cache.LazyArtifact` handles
+    here; the first ``[]``/``get`` for such a key unpickles the sidecar
+    and replaces the handle, so artifacts nothing reads are never
+    deserialised.  ``items()``/``values()`` expose raw handles -- use
+    keyed access.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._lazy_lock = threading.Lock()
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        if isinstance(value, LazyArtifact):
+            with self._lazy_lock:
+                value = super().__getitem__(key)
+                if isinstance(value, LazyArtifact):
+                    value = value.load()
+                    super().__setitem__(key, value)
+        return value
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+class StageStatus(Enum):
+    OK = "ok"
+    CACHED = "cached"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    SKIPPED = "skipped"
+
+
+class FlowError(RuntimeError):
+    """Raised when a flow run is asked to surface a stage failure."""
+
+
+@dataclass
+class StageRecord:
+    """What happened to one stage during one run."""
+
+    name: str
+    status: StageStatus
+    duration: float = 0.0
+    attempts: int = 0
+    key: Optional[str] = None
+    cache: str = "off"  # "hit" | "miss" | "off"
+    error: Optional[BaseException] = None
+    error_text: Optional[str] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (StageStatus.OK, StageStatus.CACHED)
+
+
+@dataclass
+class FlowResult:
+    """Artifacts plus per-stage records for one engine run."""
+
+    name: str
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    records: Dict[str, StageRecord] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(record.ok for record in self.records.values())
+
+    def failed_stages(self) -> List[StageRecord]:
+        return [
+            r
+            for r in self.records.values()
+            if r.status in (StageStatus.FAILED, StageStatus.TIMEOUT)
+        ]
+
+    def cached_stages(self) -> List[str]:
+        return [
+            name
+            for name, r in self.records.items()
+            if r.status is StageStatus.CACHED
+        ]
+
+    def raise_first_failure(self, allow: Iterable[str] = ()) -> None:
+        """Re-raise the first stage failure not listed in ``allow``.
+
+        Skipped stages downstream of an allowed failure are tolerated
+        too -- that is the graceful-degradation contract.
+        """
+        allowed = set(allow)
+        for record in self.records.values():
+            if record.status is StageStatus.SKIPPED:
+                continue
+            if record.ok or record.name in allowed:
+                continue
+            if record.error is not None:
+                raise record.error
+            raise FlowError(
+                f"stage {record.name!r} {record.status.value}: "
+                f"{record.error_text or 'no detail'}"
+            )
+
+    def summary(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for record in self.records.values():
+            counts[record.status.value] = counts.get(record.status.value, 0) + 1
+        return {
+            "flow": self.name,
+            "stages": len(self.records),
+            "wall_time": round(self.wall_time, 6),
+            **counts,
+        }
+
+
+def _module_metrics(outputs: Dict[str, Any]) -> Dict[str, Any]:
+    """Cell/net counts for every netlist artifact a stage produced."""
+    metrics: Dict[str, Any] = {}
+    for key, value in outputs.items():
+        if isinstance(value, Module):
+            metrics[key] = {
+                "cells": len(value.instances),
+                "nets": len(value.nets),
+            }
+    return metrics
+
+
+class SerialExecutor:
+    """Deterministic in-thread execution in topological order.
+
+    Timeouts cannot interrupt a running stage without threads; the
+    serial executor enforces them *post hoc* -- a stage that overran
+    its budget is recorded as timed out and its result discarded.
+    """
+
+    jobs = 1
+
+    def run(self, engine: "FlowEngine", state: "_RunState") -> None:
+        for stage in state.order:
+            state.process_stage_inline(stage)
+
+
+class ThreadExecutor:
+    """``concurrent.futures`` thread pool over the ready frontier."""
+
+    def __init__(self, jobs: int):
+        self.jobs = max(2, int(jobs))
+
+    def run(self, engine: "FlowEngine", state: "_RunState") -> None:
+        pending: Dict[concurrent.futures.Future, Tuple[Stage, float, Optional[float]]] = {}
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.jobs
+        ) as pool:
+            while True:
+                # launch everything ready; cache hits resolve inline and
+                # may unlock more stages, hence the inner loop
+                launched = True
+                while launched:
+                    launched = False
+                    for stage in state.take_ready():
+                        disposition = state.begin_stage(stage)
+                        if disposition == "run":
+                            start = time.perf_counter()
+                            deadline = (
+                                start + stage.timeout
+                                if stage.timeout is not None
+                                else None
+                            )
+                            future = pool.submit(
+                                state.attempt_stage, stage
+                            )
+                            pending[future] = (stage, start, deadline)
+                        launched = True
+                if not pending:
+                    break
+                timeout = None
+                now = time.perf_counter()
+                deadlines = [d for (_s, _t, d) in pending.values() if d]
+                if deadlines:
+                    timeout = max(0.0, min(deadlines) - now)
+                done, _ = concurrent.futures.wait(
+                    pending,
+                    timeout=timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                now = time.perf_counter()
+                for future in done:
+                    stage, start, _deadline = pending.pop(future)
+                    state.finish_stage(stage, future, now - start)
+                for future, (stage, start, deadline) in list(pending.items()):
+                    if deadline is not None and now >= deadline:
+                        # the worker thread cannot be killed; abandon it
+                        pending.pop(future)
+                        future.cancel()
+                        state.record_timeout(stage, now - start)
+
+
+class _RunState:
+    """Mutable bookkeeping shared between engine and executor."""
+
+    def __init__(
+        self,
+        engine: "FlowEngine",
+        graph: FlowGraph,
+        initial: Dict[str, Any],
+        label: str,
+    ):
+        self.engine = engine
+        self.graph = graph
+        self.label = label
+        self.order = graph.topological_order()
+        self.artifacts: ArtifactMap = ArtifactMap(initial)
+        self.records: Dict[str, StageRecord] = {}
+        self.fingerprints: Dict[str, str] = {}
+        self.lock = threading.Lock()
+        self._scheduled: Set[str] = set()
+        self._pending_key: Dict[str, Optional[str]] = {}
+        use_cache = engine.cache is not None and engine.cache.enabled
+        for name, value in initial.items():
+            self.fingerprints[name] = (
+                stable_hash(value) if use_cache else f"raw:{name}"
+            )
+
+    # -- scheduling ----------------------------------------------------
+    def take_ready(self) -> List[Stage]:
+        """Stages whose dependencies are all settled, in topo order."""
+        ready: List[Stage] = []
+        with self.lock:
+            for stage in self.order:
+                if stage.name in self._scheduled:
+                    continue
+                deps = self.graph.dependencies(stage)
+                if all(d in self.records for d in deps):
+                    self._scheduled.add(stage.name)
+                    ready.append(stage)
+        return ready
+
+    def _deps_failed(self, stage: Stage) -> Optional[str]:
+        for dep in sorted(self.graph.dependencies(stage)):
+            record = self.records.get(dep)
+            if record is not None and not record.ok:
+                return dep
+        return None
+
+    def stage_key(self, stage: Stage) -> str:
+        hasher = hashlib.sha256()
+        hasher.update(f"{self.graph.name}|{stage.name}|{stage.version}".encode())
+        hasher.update(stable_hash(stage.params).encode())
+        for artifact in sorted(stage.inputs):
+            hasher.update(artifact.encode())
+            hasher.update(self.fingerprints[artifact].encode())
+        return hasher.hexdigest()
+
+    # -- lifecycle -----------------------------------------------------
+    def begin_stage(self, stage: Stage) -> str:
+        """Resolve skip/cache-hit inline; return "run" to execute."""
+        blocker = self._deps_failed(stage)
+        if blocker is not None:
+            self._settle(
+                stage,
+                StageRecord(
+                    stage.name,
+                    StageStatus.SKIPPED,
+                    error_text=f"dependency {blocker!r} did not complete",
+                ),
+                outputs=None,
+            )
+            return "done"
+
+        cache = self.engine.cache
+        use_cache = cache is not None and cache.enabled and stage.cacheable
+        key = self.stage_key(stage) if use_cache else None
+        self._register_outputs(stage, key)
+        if use_cache:
+            cached = cache.get_lazy(key)
+            if cached is not None:
+                # deferred sidecars stay unloaded unless consumed, so
+                # module metrics only cover the inline artifacts here
+                record = StageRecord(
+                    stage.name,
+                    StageStatus.CACHED,
+                    key=key,
+                    cache="hit",
+                    attempts=0,
+                    metrics=_module_metrics(cached),
+                )
+                self._settle(stage, record, outputs=cached)
+                return "done"
+        self._pending_key[stage.name] = key
+        return "run"
+
+    def _register_outputs(self, stage: Stage, key: Optional[str]) -> None:
+        fingerprint_base = key or f"raw:{self.graph.name}:{stage.name}"
+        with self.lock:
+            for artifact in stage.outputs:
+                self.fingerprints[artifact] = f"{fingerprint_base}#{artifact}"
+
+    def attempt_stage(self, stage: Stage) -> Tuple[Dict[str, Any], int]:
+        """Run the stage with its retry policy; returns (outputs, tries)."""
+        attempts = 0
+        retries = max(stage.retries, self.engine.default_retries)
+        while True:
+            attempts += 1
+            try:
+                with self.lock:
+                    inputs = {k: self.artifacts[k] for k in stage.inputs}
+                outputs = stage.call(inputs)
+                return outputs, attempts
+            except Exception as exc:
+                if attempts > retries:
+                    exc.__engine_attempts__ = attempts  # type: ignore[attr-defined]
+                    raise
+
+    def process_stage_inline(self, stage: Stage) -> None:
+        """Serial path: begin, run on the calling thread, settle."""
+        if self.begin_stage(stage) != "run":
+            return
+        start = time.perf_counter()
+        try:
+            outputs, attempts = self.attempt_stage(stage)
+        except Exception as exc:
+            self._record_failure(stage, exc, time.perf_counter() - start)
+            return
+        duration = time.perf_counter() - start
+        if stage.timeout is not None and duration > stage.timeout:
+            self.record_timeout(stage, duration)
+            return
+        self._record_success(stage, outputs, attempts, duration)
+
+    def finish_stage(
+        self,
+        stage: Stage,
+        future: "concurrent.futures.Future",
+        duration: float,
+    ) -> None:
+        """Thread path: settle a completed future."""
+        exc = future.exception()
+        if exc is not None:
+            self._record_failure(stage, exc, duration)
+            return
+        outputs, attempts = future.result()
+        self._record_success(stage, outputs, attempts, duration)
+
+    # -- terminal states -----------------------------------------------
+    def _record_success(
+        self,
+        stage: Stage,
+        outputs: Dict[str, Any],
+        attempts: int,
+        duration: float,
+    ) -> None:
+        key = self._pending_key.get(stage.name)
+        cache = self.engine.cache
+        use_cache = cache is not None and cache.enabled and stage.cacheable
+        if use_cache and key is not None:
+            cache.put(key, outputs)
+        record = StageRecord(
+            stage.name,
+            StageStatus.OK,
+            duration=duration,
+            attempts=attempts,
+            key=key,
+            cache="miss" if use_cache else "off",
+            metrics=_module_metrics(outputs),
+        )
+        self._settle(stage, record, outputs=outputs)
+
+    def _record_failure(
+        self, stage: Stage, exc: BaseException, duration: float
+    ) -> None:
+        attempts = getattr(exc, "__engine_attempts__", 1)
+        record = StageRecord(
+            stage.name,
+            StageStatus.FAILED,
+            duration=duration,
+            attempts=attempts,
+            key=self._pending_key.get(stage.name),
+            cache="off" if self.engine.cache is None else "miss",
+            error=exc,
+            error_text=f"{type(exc).__name__}: {exc}",
+        )
+        self._settle(stage, record, outputs=None)
+
+    def record_timeout(self, stage: Stage, duration: float) -> None:
+        record = StageRecord(
+            stage.name,
+            StageStatus.TIMEOUT,
+            duration=duration,
+            attempts=1,
+            key=self._pending_key.get(stage.name),
+            error_text=(
+                f"stage exceeded its {stage.timeout:.3f}s timeout "
+                f"after {duration:.3f}s"
+            ),
+        )
+        self._settle(stage, record, outputs=None)
+
+    def _settle(
+        self,
+        stage: Stage,
+        record: StageRecord,
+        outputs: Optional[Dict[str, Any]],
+    ) -> None:
+        with self.lock:
+            if outputs:
+                self.artifacts.update(outputs)
+            self.records[stage.name] = record
+        journal = self.engine.journal
+        if journal is not None:
+            journal.record(
+                "stage_end",
+                run=self.label,
+                stage=stage.name,
+                status=record.status.value,
+                duration=round(record.duration, 6),
+                attempts=record.attempts,
+                cache=record.cache,
+                key=record.key[:12] if record.key else None,
+                error=record.error_text,
+                metrics=record.metrics or None,
+            )
+
+
+class FlowEngine:
+    """The orchestrator binding cache, journal and an executor."""
+
+    def __init__(
+        self,
+        cache: Optional[ArtifactCache] = None,
+        journal: Optional[RunJournal] = None,
+        jobs: int = 1,
+        default_retries: int = 0,
+    ):
+        self.cache = cache
+        self.journal = journal
+        self.jobs = max(1, int(jobs))
+        self.default_retries = max(0, int(default_retries))
+        self.results: List[FlowResult] = []
+
+    def _executor(self):
+        if self.jobs <= 1:
+            return SerialExecutor()
+        return ThreadExecutor(self.jobs)
+
+    def run(
+        self,
+        graph: FlowGraph,
+        initial: Optional[Dict[str, Any]] = None,
+        label: Optional[str] = None,
+    ) -> FlowResult:
+        initial = initial or {}
+        label = label or graph.name
+        graph.validate(initial)
+        if self.journal is not None:
+            self.journal.record(
+                "run_start",
+                run=label,
+                graph=graph.name,
+                stages=len(graph),
+                jobs=self.jobs,
+                cache="on"
+                if (self.cache is not None and self.cache.enabled)
+                else "off",
+            )
+        start = time.perf_counter()
+        state = _RunState(self, graph, initial, label)
+        self._executor().run(self, state)
+        wall = time.perf_counter() - start
+        result = FlowResult(
+            name=label,
+            artifacts=state.artifacts,
+            records=state.records,
+            wall_time=wall,
+        )
+        if self.journal is not None:
+            cached = len(result.cached_stages())
+            failed = len(result.failed_stages())
+            self.journal.record(
+                "run_end",
+                run=label,
+                duration=round(wall, 6),
+                stages=len(result.records),
+                cached=cached,
+                failed=failed,
+                cache_stats=self.cache.stats.as_dict()
+                if self.cache is not None
+                else None,
+            )
+        self.results.append(result)
+        return result
+
+    def run_many(
+        self,
+        runs: Sequence[Tuple[FlowGraph, Dict[str, Any]]],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[FlowResult]:
+        """Execute several independent graphs as one batch.
+
+        With ``jobs > 1`` the batch fans out across a pool (each graph
+        still schedules its own stages with the engine's settings);
+        serial engines fall back to deterministic sequential order.
+        """
+        labels = list(labels) if labels is not None else [g.name for g, _ in runs]
+        if self.jobs <= 1 or len(runs) <= 1:
+            return [
+                self.run(graph, initial, label)
+                for (graph, initial), label in zip(runs, labels)
+            ]
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.jobs, len(runs))
+        ) as pool:
+            futures = [
+                pool.submit(self.run, graph, initial, label)
+                for (graph, initial), label in zip(runs, labels)
+            ]
+            return [future.result() for future in futures]

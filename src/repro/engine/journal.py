@@ -1,0 +1,76 @@
+"""Structured run journal: one JSON object per line (JSONL).
+
+The journal is the engine's observability backbone: every run start,
+stage completion (with status, wall time, cache disposition and netlist
+metrics) and run end is recorded as one line.  Events are kept in
+memory as well, so in-process callers (tests, benchmarks, reports) can
+inspect a run without re-reading the file.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class RunJournal:
+    """Append-only event log, optionally persisted to a JSONL file."""
+
+    def __init__(self, path: Optional[str] = None, append: bool = False):
+        self.path = path
+        self.events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._handle = None
+        if path:
+            self._handle = open(path, "a" if append else "w")
+
+    def record(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the stamped entry."""
+        entry: Dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
+        entry.update(fields)
+        with self._lock:
+            self.events.append(entry)
+            if self._handle is not None:
+                self._handle.write(json.dumps(entry, default=str) + "\n")
+                self._handle.flush()
+        return entry
+
+    def select(self, event: Optional[str] = None, **filters: Any):
+        """Events matching ``event`` name and every ``field=value`` filter."""
+        out = []
+        with self._lock:
+            snapshot = list(self.events)
+        for entry in snapshot:
+            if event is not None and entry.get("event") != event:
+                continue
+            if all(entry.get(k) == v for k, v in filters.items()):
+                out.append(entry)
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def read_journal(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL journal file back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

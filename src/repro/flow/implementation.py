@@ -7,21 +7,43 @@ is replaced by the gate-level design generators; the flow adds the
 optional DFT pass, the desynchronization step for the asynchronous
 variant, and the physical backend, collecting the Table 5.1 / 5.2
 metrics at each phase.
+
+Both flows execute as stage graphs on the
+:class:`repro.engine.executor.FlowEngine`: with a cached engine, warm
+reruns resume from the cached stage prefix; with ``jobs > 1`` the
+synchronous and desynchronized branches of a comparison run in
+parallel.  The P&R stage degrades gracefully -- a backend failure is
+recorded on the result (and in the engine journal) while the
+post-synthesis reports survive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..desync.tool import DesyncOptions, DesyncResult, Drdesync
 from ..dft.scan import ScanResult, insert_scan
+from ..engine.executor import FlowEngine, FlowResult
+from ..engine.graph import FlowGraph, Stage
+from ..engine.stages import library_fingerprint
 from ..liberty.gatefile import Gatefile, build_gatefile
 from ..liberty.model import Library
 from ..netlist.core import Module
 from ..physical.backend import BackendResult, run_backend
 from ..sta.analysis import min_clock_period
 from .reports import AreaReport, ComparisonTable, area_report
+
+#: engine used when the caller does not supply one: deterministic
+#: serial execution, no cache -- the historical behaviour
+_default_engine: Optional[FlowEngine] = None
+
+
+def default_engine() -> FlowEngine:
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = FlowEngine()
+    return _default_engine
 
 
 @dataclass
@@ -37,6 +59,269 @@ class ImplementationResult:
     scan: Optional[ScanResult] = None
     desync: Optional[DesyncResult] = None
     min_period: Optional[float] = None
+    #: stage name -> error text for stages that failed but were
+    #: tolerated (graceful degradation of the backend)
+    failures: Dict[str, str] = field(default_factory=dict)
+
+
+def _synchronous_stages(
+    library: Library,
+    gatefile: Gatefile,
+    with_scan: bool,
+    target_utilization: float,
+    run_pnr: bool,
+    prefix: str = "",
+    module_input: str = "module.input",
+) -> List[Stage]:
+    """Conventional flow: (DFT) -> STA -> P&R -> reports."""
+    libfp = library_fingerprint(library)
+    p = prefix
+    stages: List[Stage] = []
+    module_key = module_input
+
+    if with_scan:
+        def s_scan(a: Dict[str, Any]) -> Dict[str, Any]:
+            module = a[module_input]
+            scan = insert_scan(module, library)
+            return {p + "module.scan": module, p + "scan": scan}
+
+        stages.append(
+            Stage(
+                name=p + "scan",
+                func=s_scan,
+                inputs=(module_input,),
+                outputs=(p + "module.scan", p + "scan"),
+                params={"library": libfp},
+            )
+        )
+        module_key = p + "module.scan"
+
+    def s_synth_report(a: Dict[str, Any]) -> AreaReport:
+        return area_report(a[module_key], library, gatefile)
+
+    stages.append(
+        Stage(
+            name=p + "report.synth",
+            func=s_synth_report,
+            inputs=(module_key,),
+            outputs=(p + "post_synthesis",),
+            params={"library": libfp},
+        )
+    )
+
+    def s_sta(a: Dict[str, Any]) -> float:
+        return min_clock_period(a[module_key], library, "worst")
+
+    stages.append(
+        Stage(
+            name=p + "sta",
+            func=s_sta,
+            inputs=(module_key,),
+            outputs=(p + "min_period",),
+            params={"library": libfp, "corner": "worst"},
+        )
+    )
+
+    if run_pnr:
+        stages.extend(
+            _backend_stages(
+                library,
+                gatefile,
+                target_utilization,
+                prefix=p,
+                module_key=module_key,
+                sdc_key=None,
+                after=(p + "report.synth", p + "sta"),
+            )
+        )
+    return stages
+
+
+def _backend_stages(
+    library: Library,
+    gatefile: Gatefile,
+    target_utilization: float,
+    prefix: str,
+    module_key: str,
+    sdc_key: Optional[str],
+    after: Tuple[str, ...],
+) -> List[Stage]:
+    """P&R plus the post-layout report (section 4.7)."""
+    libfp = library_fingerprint(library)
+    p = prefix
+    pnr_inputs = (module_key,) + ((sdc_key,) if sdc_key else ())
+
+    def s_pnr(a: Dict[str, Any]) -> Dict[str, Any]:
+        module = a[module_key]
+        backend = run_backend(
+            module,
+            library,
+            sdc=a[sdc_key] if sdc_key else None,
+            target_utilization=target_utilization,
+        )
+        return {p + "module.layout": module, p + "backend": backend}
+
+    def s_layout_report(a: Dict[str, Any]) -> AreaReport:
+        backend = a[p + "backend"]
+        return area_report(
+            a[p + "module.layout"],
+            library,
+            gatefile,
+            core_size=backend.report.core_size,
+            utilization=backend.report.utilization,
+        )
+
+    return [
+        Stage(
+            name=p + "pnr",
+            func=s_pnr,
+            inputs=pnr_inputs,
+            outputs=(p + "module.layout", p + "backend"),
+            params={
+                "library": libfp,
+                "target_utilization": target_utilization,
+            },
+            # P&R mutates the netlist: order it after every stage that
+            # reads the pre-layout module
+            after=after,
+        ),
+        Stage(
+            name=p + "report.layout",
+            func=s_layout_report,
+            inputs=(p + "module.layout", p + "backend"),
+            outputs=(p + "post_layout",),
+            params={"library": libfp},
+        ),
+    ]
+
+
+def _desynchronized_stages(
+    tool: Drdesync,
+    options: Optional[DesyncOptions],
+    with_scan: bool,
+    target_utilization: float,
+    run_pnr: bool,
+    prefix: str = "",
+    module_input: str = "module.input",
+) -> List[Stage]:
+    """Desynchronization flow: (DFT) -> drdesync -> P&R -> reports."""
+    library = tool.library
+    libfp = library_fingerprint(library)
+    p = prefix
+    stages: List[Stage] = []
+    module_key = module_input
+
+    if with_scan:
+        def s_scan(a: Dict[str, Any]) -> Dict[str, Any]:
+            module = a[module_input]
+            scan = insert_scan(module, library)
+            return {p + "module.scan": module, p + "scan": scan}
+
+        stages.append(
+            Stage(
+                name=p + "scan",
+                func=s_scan,
+                inputs=(module_input,),
+                outputs=(p + "module.scan", p + "scan"),
+                params={"library": libfp},
+            )
+        )
+        module_key = p + "module.scan"
+
+    stages.extend(
+        tool.build_stages(options, prefix=p, module_input=module_key)
+    )
+
+    def s_synth_report(a: Dict[str, Any]) -> AreaReport:
+        return area_report(a[p + "module.network"], library, tool.gatefile)
+
+    stages.append(
+        Stage(
+            name=p + "report.synth",
+            func=s_synth_report,
+            inputs=(p + "module.network",),
+            outputs=(p + "post_synthesis",),
+            params={"library": libfp},
+        )
+    )
+    if run_pnr:
+        stages.extend(
+            _backend_stages(
+                library,
+                tool.gatefile,
+                target_utilization,
+                prefix=p,
+                module_key=p + "module.network",
+                sdc_key=p + "sdc",
+                after=(p + "report.synth",),
+            )
+        )
+    return stages
+
+
+def _tolerated(result: FlowResult, prefix: str = "") -> Dict[str, str]:
+    """Backend stages may fail gracefully; everything else raises."""
+    backend_stages = {prefix + "pnr", prefix + "report.layout"}
+    result.raise_first_failure(allow=backend_stages)
+    return {
+        record.name: record.error_text or record.status.value
+        for record in result.failed_stages()
+        if record.name in backend_stages
+    }
+
+
+def _assemble_synchronous(
+    module: Module,
+    library: Library,
+    gatefile: Gatefile,
+    result: FlowResult,
+    prefix: str = "",
+) -> ImplementationResult:
+    artifacts = result.artifacts
+    failures = _tolerated(result, prefix)
+    final = artifacts.get(prefix + "module.layout") or artifacts.get(
+        prefix + "module.scan"
+    )
+    if final is not None and final is not module:
+        module.copy_from(final)
+    out = ImplementationResult(
+        module,
+        library,
+        gatefile,
+        artifacts[prefix + "post_synthesis"],
+        scan=artifacts.get(prefix + "scan"),
+        failures=failures,
+    )
+    out.min_period = artifacts.get(prefix + "min_period")
+    out.backend = artifacts.get(prefix + "backend")
+    out.post_layout = artifacts.get(prefix + "post_layout")
+    return out
+
+
+def _assemble_desynchronized(
+    module: Module,
+    tool: Drdesync,
+    result: FlowResult,
+    prefix: str = "",
+) -> ImplementationResult:
+    artifacts = result.artifacts
+    failures = _tolerated(result, prefix)
+    desync = tool.assemble_result(module, artifacts, prefix=prefix)
+    final = artifacts.get(prefix + "module.layout")
+    if final is not None and final is not module:
+        module.copy_from(final)
+    out = ImplementationResult(
+        module,
+        tool.library,
+        tool.gatefile,
+        artifacts[prefix + "post_synthesis"],
+        scan=artifacts.get(prefix + "scan"),
+        desync=desync,
+        failures=failures,
+    )
+    out.backend = artifacts.get(prefix + "backend")
+    out.post_layout = artifacts.get(prefix + "post_layout")
+    return out
 
 
 def implement_synchronous(
@@ -45,28 +330,23 @@ def implement_synchronous(
     with_scan: bool = False,
     target_utilization: float = 0.92,
     run_pnr: bool = True,
+    engine: Optional[FlowEngine] = None,
 ) -> ImplementationResult:
     """The conventional flow: (DFT) -> P&R -> reports."""
+    engine = engine or default_engine()
     gatefile = build_gatefile(library)
-    scan = insert_scan(module, library) if with_scan else None
-    post_synthesis = area_report(module, library, gatefile)
-    result = ImplementationResult(
-        module, library, gatefile, post_synthesis, scan=scan
+    graph = FlowGraph("implement-sync")
+    graph.add_stages(
+        _synchronous_stages(
+            library, gatefile, with_scan, target_utilization, run_pnr
+        )
     )
-    result.min_period = min_clock_period(module, library, "worst")
-    if run_pnr:
-        backend = run_backend(
-            module, library, target_utilization=target_utilization
-        )
-        result.backend = backend
-        result.post_layout = area_report(
-            module,
-            library,
-            gatefile,
-            core_size=backend.report.core_size,
-            utilization=backend.report.utilization,
-        )
-    return result
+    result = engine.run(
+        graph,
+        initial={"module.input": module},
+        label=f"sync:{module.name}",
+    )
+    return _assemble_synchronous(module, library, gatefile, result)
 
 
 def implement_desynchronized(
@@ -77,36 +357,85 @@ def implement_desynchronized(
     with_scan: bool = False,
     target_utilization: float = 0.90,
     run_pnr: bool = True,
+    engine: Optional[FlowEngine] = None,
 ) -> ImplementationResult:
     """The desynchronization flow: (DFT) -> drdesync -> P&R -> reports."""
+    engine = engine or default_engine()
     tool = tool or Drdesync(library)
-    scan = insert_scan(module, library) if with_scan else None
-    desync = tool.run(module, options)
-    post_synthesis = area_report(module, library, tool.gatefile)
-    result = ImplementationResult(
-        module,
-        library,
-        tool.gatefile,
-        post_synthesis,
-        scan=scan,
-        desync=desync,
+    graph = FlowGraph("implement-desync")
+    graph.add_stages(
+        _desynchronized_stages(
+            tool, options, with_scan, target_utilization, run_pnr
+        )
     )
-    if run_pnr:
-        backend = run_backend(
-            module,
+    result = engine.run(
+        graph,
+        initial={"module.input": module},
+        label=f"desync:{module.name}",
+    )
+    return _assemble_desynchronized(module, tool, result)
+
+
+def implement_comparison(
+    design_name: str,
+    sync_module: Module,
+    desync_module: Module,
+    library: Library,
+    options: Optional[DesyncOptions] = None,
+    sync_utilization: float = 0.92,
+    desync_utilization: float = 0.90,
+    with_scan: bool = False,
+    run_pnr: bool = True,
+    engine: Optional[FlowEngine] = None,
+) -> Tuple[ImplementationResult, ImplementationResult, ComparisonTable]:
+    """Both implementations as ONE stage graph (Figure 5.1 discipline).
+
+    The two branches share no artifacts, so a parallel engine runs them
+    concurrently; a cached engine resumes either branch from its cached
+    prefix independently.
+    """
+    engine = engine or default_engine()
+    gatefile = build_gatefile(library)
+    tool = Drdesync(library)
+    graph = FlowGraph(f"compare:{design_name}")
+    graph.add_stages(
+        _synchronous_stages(
             library,
-            sdc=desync.sdc,
-            target_utilization=target_utilization,
+            gatefile,
+            with_scan,
+            sync_utilization,
+            run_pnr,
+            prefix="sync:",
+            module_input="sync:module.input",
         )
-        result.backend = backend
-        result.post_layout = area_report(
-            module,
-            library,
-            tool.gatefile,
-            core_size=backend.report.core_size,
-            utilization=backend.report.utilization,
+    )
+    graph.add_stages(
+        _desynchronized_stages(
+            tool,
+            options,
+            with_scan,
+            desync_utilization,
+            run_pnr,
+            prefix="desync:",
+            module_input="desync:module.input",
         )
-    return result
+    )
+    result = engine.run(
+        graph,
+        initial={
+            "sync:module.input": sync_module,
+            "desync:module.input": desync_module,
+        },
+        label=f"compare:{design_name}",
+    )
+    sync = _assemble_synchronous(
+        sync_module, library, gatefile, result, prefix="sync:"
+    )
+    desync = _assemble_desynchronized(
+        desync_module, tool, result, prefix="desync:"
+    )
+    table = compare_implementations(design_name, sync, desync)
+    return sync, desync, table
 
 
 def compare_implementations(

@@ -356,6 +356,25 @@ class Module:
         out._uid = self._uid
         return out
 
+    def copy_from(self, other: "Module") -> None:
+        """Replace this module's entire contents with ``other``'s.
+
+        Used by the flow engine to honour the tool's in-place rewrite
+        contract when a run resumes from cached artifacts: the caller's
+        module object adopts the cached netlist, so every reference
+        held before the run stays valid.  ``other`` must not be used
+        afterwards (its containers are adopted, not copied).
+        """
+        if other is self:
+            return
+        self.name = other.name
+        self.ports = other.ports
+        self.nets = other.nets
+        self.instances = other.instances
+        self.assigns = other.assigns
+        self.attributes = other.attributes
+        self._uid = other._uid
+
     def __repr__(self) -> str:
         return (
             f"Module({self.name!r}, {len(self.instances)} cells, "

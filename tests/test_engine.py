@@ -1,0 +1,311 @@
+"""Tests for the :mod:`repro.engine` flow-orchestration subsystem.
+
+Covers the cache-key semantics the engine promises (any option field,
+library variant or netlist edit invalidates exactly the affected
+stages), parallel-vs-serial result equivalence, timeout/retry
+robustness, graceful degradation of a failing P&R stage, and the JSONL
+run journal.
+"""
+
+import time
+
+import pytest
+
+from repro.desync import DesyncOptions, Drdesync
+from repro.designs import figure22_circuit, pipeline3
+from repro.engine import (
+    ArtifactCache,
+    FlowEngine,
+    FlowError,
+    FlowGraph,
+    FlowGraphError,
+    RunJournal,
+    Stage,
+    StageStatus,
+    read_journal,
+    render_report,
+    engine_stats,
+    stable_hash,
+)
+from repro.liberty import core9_hs, core9_ll
+
+DESYNC_STAGES = (
+    "import", "group", "ffsub", "ddg", "delays", "network", "constraints"
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return core9_hs()
+
+
+def make_engine(tmp_path, jobs=1, journal=None):
+    return FlowEngine(
+        cache=ArtifactCache(str(tmp_path / "cache")),
+        journal=journal,
+        jobs=jobs,
+    )
+
+
+def run_desync(lib, engine, module, options=None):
+    tool = Drdesync(lib, engine=engine)
+    return tool.run(module, options or DesyncOptions())
+
+
+def cache_states(engine):
+    """stage name -> 'hit' | 'miss' | 'off' for the engine's last run."""
+    run = engine.results[-1]
+    return {name: record.cache for name, record in run.records.items()}
+
+
+# ---------------------------------------------------------------------------
+# stable_hash
+
+
+def test_stable_hash_dict_order_invariant():
+    assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+    assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+
+
+def test_stable_hash_module_clone_equal(lib):
+    module = pipeline3(lib)
+    assert stable_hash(module) == stable_hash(module.clone())
+
+
+def test_stable_hash_module_mutation_differs(lib):
+    module = pipeline3(lib)
+    before = stable_hash(module)
+    instance = next(iter(module.instances.values()))
+    instance.cell = "BUFX2" if instance.cell != "BUFX2" else "BUFX1"
+    assert stable_hash(module) != before
+
+
+# ---------------------------------------------------------------------------
+# cache semantics
+
+
+def test_identical_rerun_hits_every_stage(lib, tmp_path):
+    engine = make_engine(tmp_path)
+    module = pipeline3(lib)
+    first = run_desync(lib, engine, module.clone())
+    assert set(cache_states(engine).values()) == {"miss"}
+
+    second = run_desync(lib, engine, module.clone())
+    states = cache_states(engine)
+    assert set(states) == set(DESYNC_STAGES)
+    assert set(states.values()) == {"hit"}
+    assert second.summary() == first.summary()
+    assert second.export_verilog() == first.export_verilog()
+
+
+def test_option_change_invalidates_only_affected_stages(lib, tmp_path):
+    engine = make_engine(tmp_path)
+    module = pipeline3(lib)
+    run_desync(lib, engine, module.clone(), DesyncOptions(delay_margin=0.10))
+    run_desync(lib, engine, module.clone(), DesyncOptions(delay_margin=0.25))
+    states = cache_states(engine)
+    # delay_margin only parameterises the network and constraint stages
+    assert states["network"] == "miss"
+    assert states["constraints"] == "miss"
+    for name in ("import", "group", "ffsub", "ddg", "delays"):
+        assert states[name] == "hit", f"{name} should not depend on margin"
+
+
+def test_grouping_change_invalidates_downstream(lib, tmp_path):
+    engine = make_engine(tmp_path)
+    module = figure22_circuit(lib)
+    run_desync(lib, engine, module.clone(), DesyncOptions(grouping="auto"))
+    run_desync(lib, engine, module.clone(), DesyncOptions(grouping="single"))
+    states = cache_states(engine)
+    assert states["import"] == "hit"
+    assert states["delays"] == "hit"  # ladder depends on library only
+    for name in ("group", "ffsub", "ddg", "network", "constraints"):
+        assert states[name] == "miss"
+
+
+def test_library_variant_invalidates(lib, tmp_path):
+    engine = make_engine(tmp_path)
+    module = pipeline3(lib)
+    run_desync(lib, engine, module.clone())
+    run_desync(core9_ll(), engine, pipeline3(core9_ll()).clone())
+    states = cache_states(engine)
+    assert states["import"] == "miss"
+    assert states["delays"] == "miss"
+
+
+def test_netlist_edit_invalidates_from_import(lib, tmp_path):
+    engine = make_engine(tmp_path)
+    module = pipeline3(lib)
+    run_desync(lib, engine, module.clone())
+
+    edited = module.clone()
+    instance = next(
+        i for i in edited.instances.values() if i.cell == "XOR2X1"
+    )
+    instance.cell = "XOR2X2"  # one gate resized
+    run_desync(lib, engine, edited)
+    states = cache_states(engine)
+    assert states["import"] == "miss"
+    assert states["group"] == "miss"
+    assert states["delays"] == "hit"  # ladder characterisation unaffected
+
+
+def test_no_cache_engine_records_off(lib, tmp_path):
+    engine = FlowEngine()  # no cache at all
+    run_desync(lib, engine, pipeline3(lib))
+    assert set(cache_states(engine).values()) == {"off"}
+
+
+# ---------------------------------------------------------------------------
+# executors
+
+
+def test_parallel_matches_serial(lib, tmp_path):
+    module = figure22_circuit(lib)
+    serial = run_desync(lib, FlowEngine(jobs=1), module.clone())
+    parallel = run_desync(lib, FlowEngine(jobs=4), module.clone())
+    assert parallel.summary() == serial.summary()
+    assert parallel.export_verilog() == serial.export_verilog()
+    assert parallel.export_sdc() == serial.export_sdc()
+
+
+def test_stage_timeout_skips_dependents():
+    graph = FlowGraph("slow")
+    graph.add(Stage(
+        "sleep",
+        lambda _: time.sleep(5.0),
+        outputs=("a",),
+        timeout=0.05,
+        cacheable=False,
+    ))
+    graph.add(Stage(
+        "after", lambda d: d["a"], inputs=("a",), outputs=("b",),
+        cacheable=False,
+    ))
+    engine = FlowEngine(jobs=2)
+    result = engine.run(graph)
+    assert result.records["sleep"].status is StageStatus.TIMEOUT
+    assert result.records["after"].status is StageStatus.SKIPPED
+    assert not result.ok
+    with pytest.raises(FlowError, match="timeout"):
+        result.raise_first_failure()
+
+
+def test_flaky_stage_retries_until_success():
+    attempts = {"n": 0}
+
+    def flaky(_):
+        attempts["n"] += 1
+        if attempts["n"] < 2:
+            raise RuntimeError("transient")
+        return attempts["n"]
+
+    graph = FlowGraph("flaky")
+    graph.add(Stage(
+        "flaky", flaky, outputs=("x",), retries=1, cacheable=False
+    ))
+    result = FlowEngine().run(graph)
+    assert result.ok
+    assert result.records["flaky"].attempts == 2
+    assert result.artifacts["x"] == 2
+
+
+def test_failed_stage_keeps_partial_artifacts():
+    def boom(_):
+        raise RuntimeError("backend fell over")
+
+    graph = FlowGraph("partial")
+    graph.add(Stage("ok", lambda _: 1, outputs=("a",), cacheable=False))
+    graph.add(Stage(
+        "boom", boom, inputs=("a",), outputs=("b",), cacheable=False
+    ))
+    result = FlowEngine().run(graph)
+    assert result.artifacts["a"] == 1
+    assert "b" not in result.artifacts
+    assert result.records["boom"].status is StageStatus.FAILED
+    assert "backend fell over" in result.records["boom"].error_text
+    # tolerated failure: caller may allow it explicitly
+    result.raise_first_failure(allow=("boom",))
+    with pytest.raises(RuntimeError):
+        result.raise_first_failure()
+
+
+def test_pnr_failure_degrades_gracefully(lib, tmp_path, monkeypatch):
+    from repro.flow import implementation as impl
+
+    def failing_backend(*args, **kwargs):
+        raise RuntimeError("P&R blew up")
+
+    monkeypatch.setattr(impl, "run_backend", failing_backend)
+    journal = RunJournal(str(tmp_path / "run.jsonl"))
+    engine = FlowEngine(journal=journal)
+    result = impl.implement_synchronous(
+        figure22_circuit(lib), lib, engine=engine
+    )
+    journal.close()
+    # post-synthesis report survives, layout is marked failed
+    assert result.post_synthesis.cells > 0
+    assert result.post_layout is None
+    assert "pnr" in result.failures
+    assert "P&R blew up" in result.failures["pnr"]
+    events = read_journal(str(tmp_path / "run.jsonl"))
+    failed = [
+        e for e in events
+        if e["event"] == "stage_end" and e["status"] == "failed"
+    ]
+    assert any(e["stage"].endswith("pnr") for e in failed)
+
+
+# ---------------------------------------------------------------------------
+# graph validation
+
+
+def test_graph_rejects_duplicate_producer():
+    graph = FlowGraph("dup")
+    graph.add(Stage("a", lambda _: 1, outputs=("x",)))
+    with pytest.raises(FlowGraphError):
+        graph.add(Stage("b", lambda _: 2, outputs=("x",)))
+
+
+def test_graph_rejects_cycles():
+    graph = FlowGraph("cycle")
+    graph.add(Stage("a", lambda d: 1, inputs=("y",), outputs=("x",)))
+    graph.add(Stage("b", lambda d: 2, inputs=("x",), outputs=("y",)))
+    with pytest.raises(FlowGraphError):
+        graph.validate({})
+
+
+def test_graph_requires_initial_artifacts():
+    graph = FlowGraph("init")
+    graph.add(Stage("a", lambda d: 1, inputs=("seed",), outputs=("x",)))
+    with pytest.raises(FlowGraphError):
+        FlowEngine().run(graph, initial={})
+
+
+# ---------------------------------------------------------------------------
+# journal and reports
+
+
+def test_journal_round_trip(lib, tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    journal = RunJournal(path)
+    engine = FlowEngine(journal=journal)
+    run_desync(lib, engine, pipeline3(lib))
+    journal.close()
+    events = read_journal(path)
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+    stages = [e["stage"] for e in events if e["event"] == "stage_end"]
+    assert set(stages) == set(DESYNC_STAGES)
+    assert all("ts" in e for e in events)
+
+
+def test_render_report_and_stats(lib, tmp_path):
+    engine = make_engine(tmp_path)
+    run_desync(lib, engine, pipeline3(lib))
+    report = render_report(engine.results[-1])
+    assert "import" in report and "network" in report
+    stats = engine_stats(engine.results, engine.cache)
+    assert stats["runs"] == 1
+    assert set(stats["stages"]) == set(DESYNC_STAGES)
+    assert stats["cache"]["misses"] == len(DESYNC_STAGES)

@@ -113,3 +113,66 @@ def test_cli_single_region_and_margin(lib, tmp_path):
     ])
     assert code == 0
     assert out_v.exists()
+
+
+def _write_design(lib, tmp_path, name="design.v"):
+    mod = figure22_circuit(lib)
+    netlist = Netlist()
+    netlist.add_module(mod)
+    src = tmp_path / name
+    save_verilog(netlist, str(src))
+    return src
+
+
+def test_cli_version_exits_zero(capsys):
+    assert cli_main(["--version"]) == 0
+    from repro import __version__
+
+    assert __version__ in capsys.readouterr().out
+
+
+def test_cli_usage_errors_exit_one(tmp_path, capsys):
+    # no positional input
+    assert cli_main([]) == 1
+    # bad choice for --group
+    assert cli_main(["x.v", "--group", "bogus"]) == 1
+    err = capsys.readouterr().err
+    assert "usage:" in err
+
+
+def test_cli_flow_error_exits_two(tmp_path, capsys):
+    code = cli_main([str(tmp_path / "missing.v"), "--no-cache", "--quiet"])
+    assert code == 2
+    assert "flow error" in capsys.readouterr().err
+
+
+def test_cli_cache_journal_jobs_round_trip(lib, tmp_path):
+    from repro.engine import read_journal
+
+    src = _write_design(lib, tmp_path)
+    cache_dir = tmp_path / "cache"
+    journal = tmp_path / "run.jsonl"
+    argv = [
+        str(src),
+        "-o", str(tmp_path / "out.v"),
+        "--cache-dir", str(cache_dir),
+        "--journal", str(journal),
+        "--jobs", "2",
+        "--quiet",
+    ]
+    assert cli_main(argv) == 0
+    cold = read_journal(str(journal))
+    assert {e["event"] for e in cold} >= {"run_start", "stage_end", "run_end"}
+    assert all(
+        e["cache"] == "miss"
+        for e in cold
+        if e["event"] == "stage_end"
+    )
+
+    # warm re-run against the same cache: every stage is a hit
+    assert cli_main(argv) == 0
+    warm = read_journal(str(journal))
+    hits = [e for e in warm if e.get("cache") == "hit"]
+    assert {e["stage"] for e in hits} == {
+        "import", "group", "ffsub", "ddg", "delays", "network", "constraints"
+    }
