@@ -1,0 +1,82 @@
+"""Observability overhead and flow profile (the repro.obs layer).
+
+Two questions: (1) what does the *disabled* instrumentation cost on a
+real conversion -- the layer promises near-zero -- and (2) what does
+the per-phase profile of a traced DLX desynchronization look like?
+Emits ``obs_profile.txt`` plus ``obs_overhead.json`` under
+``benchmarks/results/``.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, emit, run_once
+
+from repro.desync import Drdesync
+from repro.engine import FlowEngine
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    metrics,
+    phase_times,
+    summary_report,
+    trace,
+)
+
+
+def _convert(library, module):
+    return Drdesync(library, engine=FlowEngine()).run(module)
+
+
+def test_obs_overhead_and_profile(benchmark, hs_library, dlx_factory):
+    kwargs = dict(registers=8, multiplier=False, width=16)
+
+    # warm-up conversion so both timed runs see hot caches alike
+    _convert(hs_library, dlx_factory(**kwargs))
+
+    start = time.perf_counter()
+    _convert(hs_library, dlx_factory(**kwargs))
+    disabled_s = time.perf_counter() - start
+
+    tracer = trace.set_tracer(Tracer())
+    registry = metrics.set_registry(MetricsRegistry())
+    try:
+        start = time.perf_counter()
+        result = run_once(
+            benchmark, lambda: _convert(hs_library, dlx_factory(**kwargs))
+        )
+        enabled_s = time.perf_counter() - start
+        phases = phase_times(tracer)
+        report = summary_report(tracer)
+    finally:
+        trace.reset_tracer()
+        metrics.reset_registry()
+
+    assert result.network.controllers
+    assert len(tracer) > 10
+    assert {"group", "ffsub", "ddg", "network"} <= set(phases)
+    assert registry.snapshot()["counters"]["desync.ffsub.replaced"] > 0
+
+    overhead = {
+        "bench": "obs_overhead",
+        "design": "dlx_small",
+        "instrumentation_disabled_s": round(disabled_s, 4),
+        "instrumentation_enabled_s": round(enabled_s, 4),
+        "tracing_overhead_pct": round(
+            100.0 * (enabled_s - disabled_s) / disabled_s, 2
+        ),
+        "span_count": len(tracer),
+        "phases_s": phases,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "obs_overhead.json"), "w") as handle:
+        json.dump(overhead, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    emit(
+        "obs_profile",
+        "DLX desynchronization span profile (repro.obs)\n"
+        f"disabled {disabled_s:.3f}s vs traced {enabled_s:.3f}s "
+        f"({overhead['tracing_overhead_pct']:+.1f}%)\n\n" + report,
+    )

@@ -1,0 +1,106 @@
+"""CI observability smoke: trace + metrics on a reduced DLX.
+
+Drives the ``drdesync`` CLI end-to-end on a reduced DLX core
+(8 registers, 16-bit, no multiplier) with ``--trace``/``--metrics``/
+``--journal``, validates the artifacts, and derives ``BENCH_obs.json``
+-- per-engine-phase wall times read back from the Chrome trace file,
+the way a consumer of the uploaded CI artifact would.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py [OUT_DIR]
+
+OUT_DIR defaults to ``benchmarks/results``.
+"""
+
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.designs import dlx_core  # noqa: E402
+from repro.liberty import core9_hs  # noqa: E402
+from repro.netlist import Netlist, save_verilog  # noqa: E402
+from repro.obs import phase_times  # noqa: E402
+
+EXPECTED_PHASES = {
+    "import", "group", "ffsub", "ddg", "delays", "network", "constraints",
+}
+EXPECTED_SPANS = {
+    "grouping", "validate_independence", "ffsub", "ddg",
+    "delays.characterize", "network.wiring", "clean_logic",
+}
+
+
+def main(out_dir=None):
+    out_dir = out_dir or os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out_dir, exist_ok=True)
+
+    library = core9_hs()
+    module = dlx_core(library, registers=8, multiplier=False, width=16)
+    netlist = Netlist()
+    netlist.add_module(module)
+    src = os.path.join(out_dir, "dlx_small.v")
+    save_verilog(netlist, src)
+
+    trace_file = os.path.join(out_dir, "obs_trace.json")
+    metrics_file = os.path.join(out_dir, "obs_metrics.json")
+    journal_file = os.path.join(out_dir, "obs_journal.jsonl")
+    code = cli_main([
+        src,
+        "-o", os.path.join(out_dir, "dlx_small_desync.v"),
+        "--sdc", os.path.join(out_dir, "dlx_small.sdc"),
+        "--no-cache",
+        "--journal", journal_file,
+        "--trace", trace_file,
+        "--metrics", metrics_file,
+    ])
+    if code != 0:
+        raise SystemExit(f"drdesync exited {code}")
+
+    with open(trace_file) as handle:
+        document = json.load(handle)
+    events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in events}
+    missing = EXPECTED_SPANS - names
+    if missing:
+        raise SystemExit(f"trace is missing spans: {sorted(missing)}")
+
+    with open(metrics_file) as handle:
+        snapshot = json.load(handle)
+    for key in ("desync.grouping.regions", "desync.summary.cells"):
+        if key not in snapshot["gauges"]:
+            raise SystemExit(f"metrics snapshot is missing gauge {key!r}")
+    if snapshot["histograms"]["desync.region.size"]["count"] < 1:
+        raise SystemExit("region-size histogram is empty")
+
+    phases = phase_times(trace_file=trace_file)
+    missing = EXPECTED_PHASES - set(phases)
+    if missing:
+        raise SystemExit(f"trace is missing engine phases: {sorted(missing)}")
+
+    bench = {
+        "bench": "obs_smoke",
+        "design": "dlx_small",
+        "phases_s": phases,
+        "total_s": round(sum(phases.values()), 6),
+        "span_count": len(events),
+        "regions": snapshot["gauges"]["desync.grouping.regions"],
+        "cells": snapshot["gauges"]["desync.summary.cells"],
+    }
+    bench_file = os.path.join(out_dir, "BENCH_obs.json")
+    with open(bench_file, "w") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"obs smoke OK: {len(events)} spans, "
+          f"{bench['total_s']:.3f}s across {len(phases)} phases")
+    print(f"wrote {bench_file}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else None))

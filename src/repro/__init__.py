@@ -21,8 +21,9 @@ Quick start::
     print(result.export_sdc())
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
+from . import obs  # noqa: F401
 from . import netlist  # noqa: F401
 from . import liberty  # noqa: F401
 from . import sta  # noqa: F401

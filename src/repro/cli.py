@@ -10,6 +10,8 @@ Usage::
              [--margin 0.10] [--mux-taps 8] [--gatefile out.gatefile]
              [--jobs 4] [--journal run.jsonl]
              [--cache-dir DIR | --no-cache]
+             [--trace trace.json] [--metrics metrics.json]
+             [-v | --log-level LEVEL | --quiet]
 
 Exit codes: 0 on success, 1 on a usage error (bad arguments), 2 on a
 flow error (unreadable input, grouping failure, export failure, ...).
@@ -19,11 +21,20 @@ results are cached content-addressed under ``--cache-dir`` (default
 ``.repro_cache``; disable with ``--no-cache``), ``--jobs N`` runs
 independent stages on a thread pool, and ``--journal`` records the
 per-stage JSONL run journal.
+
+Observability (:mod:`repro.obs`): ``--trace FILE`` records hierarchical
+spans for every engine stage and pipeline phase and writes them as
+Chrome trace-event JSON (load in Perfetto / chrome://tracing);
+``--metrics FILE`` snapshots the counters, gauges, and histograms the
+flow maintains (region sizes, DDG fan-in, delay-ladder selection
+error, cache hits, ...).  Both are off by default and cost nothing
+when off.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -35,10 +46,22 @@ from .engine.journal import RunJournal
 from .liberty.core9 import core9_hs, core9_ll
 from .liberty.parser import read_liberty
 from .netlist.verilog import read_verilog
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    metrics,
+    summary_report,
+    trace,
+    write_chrome_trace,
+    write_metrics,
+)
 
 EXIT_OK = 0
 EXIT_USAGE = 1
 EXIT_FLOW = 2
+
+log = logging.getLogger("repro.cli")
 
 
 class UsageError(Exception):
@@ -124,9 +147,70 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="disable the stage artifact cache",
     )
     parser.add_argument(
-        "--quiet", action="store_true", help="suppress the summary"
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON profile of the flow",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a JSON snapshot of flow metrics",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug-level logging (shorthand for --log-level debug)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        help="logging threshold (overrides -v and --quiet)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary (warnings and errors only)",
     )
     return parser
+
+
+def resolve_log_level(args: argparse.Namespace) -> str:
+    """Explicit ``--log-level`` wins, then ``-v``, then ``--quiet``."""
+    if args.log_level:
+        return args.log_level
+    if args.verbose:
+        return "debug"
+    if args.quiet:
+        return "warning"
+    return "info"
+
+
+def _print_summary(result, module, engine, cache) -> None:
+    summary = result.summary()
+    log.info("desynchronized %r:", module.name)
+    for key, value in summary.items():
+        log.info("  %-22s %s", key, value)
+    for region, delay in sorted(result.network.region_delays.items()):
+        element = result.network.delay_elements.get(region)
+        if element is not None:
+            log.info(
+                "  region %-8s cloud delay %7.3f ns, "
+                "delay element %d levels",
+                region,
+                delay,
+                element.length,
+            )
+    run = engine.results[-1]
+    cached = len(run.cached_stages())
+    log.info(
+        "  engine: %d stages, %d cached, %.3fs wall, jobs=%d, cache=%s",
+        len(run.records),
+        cached,
+        run.wall_time,
+        engine.jobs,
+        "off" if cache is None else "on",
+    )
 
 
 def _run_flow(args: argparse.Namespace) -> int:
@@ -135,6 +219,7 @@ def _run_flow(args: argparse.Namespace) -> int:
     else:
         library = core9_hs() if args.library == "hs" else core9_ll()
 
+    log.debug("reading %s", args.input)
     netlist = read_verilog(args.input)
     if args.top:
         netlist.set_top(args.top)
@@ -143,6 +228,17 @@ def _run_flow(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
     journal = RunJournal(args.journal) if args.journal else RunJournal()
     engine = FlowEngine(cache=cache, journal=journal, jobs=args.jobs)
+
+    # observability is opt-in: spans mirror into the run journal so one
+    # artifact carries both the stage records and the timing tree
+    tracer = None
+    if args.trace:
+        tracer = Tracer(journal=journal if args.journal else None)
+        trace.set_tracer(tracer)
+    registry = None
+    if args.metrics:
+        registry = MetricsRegistry()
+        metrics.set_registry(registry)
 
     tool = Drdesync(library, engine=engine)
     options = DesyncOptions(
@@ -158,6 +254,7 @@ def _run_flow(args: argparse.Namespace) -> int:
             with open(args.gatefile, "w") as handle:
                 handle.write(tool.gatefile.to_text())
         if args.output:
+            log.debug("writing Verilog to %s", args.output)
             with open(args.output, "w") as handle:
                 handle.write(result.export_verilog())
         if args.blif:
@@ -166,28 +263,30 @@ def _run_flow(args: argparse.Namespace) -> int:
         if args.sdc:
             with open(args.sdc, "w") as handle:
                 handle.write(result.export_sdc())
+
+        if registry is not None:
+            for key, value in result.summary().items():
+                if isinstance(value, (int, float)):
+                    metrics.gauge(f"desync.summary.{key}").set(value)
+        if tracer is not None:
+            write_chrome_trace(args.trace, tracer)
+            log.info("trace written to %s (%d spans)", args.trace, len(tracer))
+            log.debug("span summary:\n%s", summary_report(tracer))
+        if registry is not None:
+            write_metrics(args.metrics, registry)
+            log.info(
+                "metrics written to %s (%d instruments)",
+                args.metrics,
+                len(registry),
+            )
     finally:
         journal.close()
+        if tracer is not None:
+            trace.reset_tracer()
+        if registry is not None:
+            metrics.reset_registry()
 
-    if not args.quiet:
-        summary = result.summary()
-        print(f"desynchronized {module.name!r}:")
-        for key, value in summary.items():
-            print(f"  {key:22s} {value}")
-        for region, delay in sorted(result.network.region_delays.items()):
-            element = result.network.delay_elements.get(region)
-            if element is not None:
-                print(
-                    f"  region {region:8s} cloud delay {delay:7.3f} ns, "
-                    f"delay element {element.length} levels"
-                )
-        run = engine.results[-1]
-        cached = len(run.cached_stages())
-        print(
-            f"  engine: {len(run.records)} stages, {cached} cached, "
-            f"{run.wall_time:.3f}s wall, jobs={engine.jobs}, "
-            f"cache={'off' if cache is None else 'on'}"
-        )
+    _print_summary(result, module, engine, cache)
     return EXIT_OK
 
 
@@ -202,6 +301,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except SystemExit as exit_:  # --version / --help
         return EXIT_OK if not exit_.code else EXIT_USAGE
 
+    configure_logging(resolve_log_level(args), stream=sys.stdout)
     try:
         return _run_flow(args)
     except Exception as error:

@@ -17,10 +17,15 @@ the feedback/output path.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence
 
 from ..liberty.techmap import GateChooser
 from ..netlist.core import Module
+from ..obs import metrics
+
+#: histogram buckets for C-element input counts and tree depths
+CMULLER_BUCKETS = (1, 2, 3, 4, 5, 6, 8, 10, 12, 16)
 
 
 class CMullerError(Exception):
@@ -97,6 +102,14 @@ def build_cmuller(
     if reset is not None:
         cell, pins, out_pin = chooser.gate("andn2")
         emit("andn2", {pins[0]: raw, pins[1]: reset, out_pin: output})
+    metrics.counter("desync.cmuller.elements").inc()
+    metrics.histogram("desync.cmuller.inputs", buckets=CMULLER_BUCKETS).observe(
+        len(inputs)
+    )
+    # the 2-input reduce trees (AND + OR) are log2-deep; +1 for the MAJ3
+    metrics.histogram(
+        "desync.cmuller.tree_depth", buckets=CMULLER_BUCKETS
+    ).observe(math.ceil(math.log2(len(inputs))) + 1)
     return created
 
 

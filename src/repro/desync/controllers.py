@@ -58,6 +58,7 @@ from typing import Dict, List, Optional
 
 from ..liberty.model import Library, LibraryCell, LibraryPin, TimingArc
 from ..netlist.core import Module, PortDirection
+from ..obs import metrics
 from ..stg.petri import Stg
 
 #: complex-gate cells placed per controller
@@ -284,6 +285,7 @@ def place_controller(
         )
     for gate in (gate_x, gate_y, gate_d0, gate_d1, gate_g):
         gate.attributes.update(attrs)
+    metrics.counter(f"desync.controllers.{role}").inc()
     return ControllerInstance(
         base, region, role, ri_net, ao_net, g_net, x_net, y_net
     )

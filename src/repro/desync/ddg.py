@@ -21,10 +21,14 @@ import networkx as nx
 
 from ..liberty.gatefile import Gatefile
 from ..netlist.core import Module, PortDirection
+from ..obs import metrics, trace
 from .regions import RegionMap
 
 #: pseudo-node for the environment (primary inputs / outputs)
 ENV = "ENV"
+
+#: histogram buckets for region fan-in / fan-out degrees
+FANIN_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
 
 
 def build_ddg(
@@ -39,6 +43,30 @@ def build_ddg(
     ``env_instances`` are sequential elements whose outputs count as
     environment data (foreign clock domains in a partial conversion).
     """
+    with trace.span("ddg", regions=len(region_map)) as span:
+        graph = _build_ddg(
+            module, gatefile, region_map, false_path_nets, env_instances
+        )
+        span.set("nodes", graph.number_of_nodes())
+        span.set("edges", graph.number_of_edges())
+    if metrics.enabled():
+        fanin = metrics.histogram("desync.ddg.fanin", buckets=FANIN_BUCKETS)
+        fanout = metrics.histogram("desync.ddg.fanout", buckets=FANIN_BUCKETS)
+        for node in graph.nodes:
+            if node == ENV:
+                continue
+            fanin.observe(len(predecessors_of(graph, node)))
+            fanout.observe(len(successors_of(graph, node)))
+    return graph
+
+
+def _build_ddg(
+    module: Module,
+    gatefile: Gatefile,
+    region_map: RegionMap,
+    false_path_nets: Tuple[str, ...],
+    env_instances: Optional[Set[str]],
+) -> "nx.DiGraph":
     env_instances = env_instances or set()
     graph = nx.DiGraph()
     for name in region_map.regions:

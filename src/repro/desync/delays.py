@@ -27,8 +27,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..liberty.model import Library
 from ..liberty.techmap import GateChooser
 from ..netlist.core import Module, PortDirection
+from ..obs import metrics, trace
 from ..sta.analysis import propagate
 from ..sta.graph import build_timing_graph
+
+#: histogram buckets for delay-element chain lengths (logic levels)
+LENGTH_BUCKETS = (1, 2, 5, 10, 20, 40, 60, 80, 120, 160, 240)
+#: histogram buckets for ladder selection error in ns (delay over target)
+SELECTION_ERROR_BUCKETS = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+)
 
 
 class DelayElementError(Exception):
@@ -84,18 +92,21 @@ def characterize_ladder(
     logic depth, e.g. from 1 to 100 logic levels, and perform STA to
     measure their delay values."
     """
-    ladder = DelayLadder(library.name, corner)
-    # delays are additive per stage under the linear model; measure the
-    # longest chain once and read arrivals at every stage output
-    module = _chain_module(max_length, and_cell)
-    graph = build_timing_graph(module, library, corner)
-    report = propagate(graph)
-    for stage in range(max_length):
-        node = (f"u{stage}", "Z")
-        arrival = report.arrivals.get(node)
-        if arrival is None:
-            raise DelayElementError(f"no arrival at chain stage {stage}")
-        ladder.rise_delays.append(arrival)
+    with trace.span(
+        "delays.characterize", corner=corner, max_length=max_length
+    ):
+        ladder = DelayLadder(library.name, corner)
+        # delays are additive per stage under the linear model; measure the
+        # longest chain once and read arrivals at every stage output
+        module = _chain_module(max_length, and_cell)
+        graph = build_timing_graph(module, library, corner)
+        report = propagate(graph)
+        for stage in range(max_length):
+            node = (f"u{stage}", "Z")
+            arrival = report.arrivals.get(node)
+            if arrival is None:
+                raise DelayElementError(f"no arrival at chain stage {stage}")
+            ladder.rise_delays.append(arrival)
     return ladder
 
 
@@ -106,6 +117,12 @@ def choose_length(
     required = target_delay * (1.0 + margin)
     for length, delay in enumerate(ladder.rise_delays, start=1):
         if delay >= required:
+            # the quantisation cost of the discrete ladder: how much
+            # slower the chosen chain is than the matched point
+            metrics.histogram(
+                "desync.delay.selection_error_ns",
+                buckets=SELECTION_ERROR_BUCKETS,
+            ).observe(delay - required)
             return length
     raise DelayElementError(
         f"ladder too short: need {required:.3f} ns, max is "
@@ -149,6 +166,10 @@ def build_delay_element(
     """
     if length < 1:
         raise DelayElementError("delay element needs at least one level")
+    metrics.counter("desync.delay.elements").inc()
+    metrics.histogram("desync.delay.length", buckets=LENGTH_BUCKETS).observe(
+        length
+    )
     and_cell, and_pins, and_out = chooser.gate(and_role)
     attrs = {"role": "delay_element", "region": region, "dont_touch": True}
     instances: List[str] = []

@@ -28,7 +28,11 @@ from ..liberty.gatefile import Gatefile, ReplacementRule
 from ..liberty.model import Library
 from ..liberty.techmap import ExpressionMapper, GateChooser
 from ..netlist.core import Module, PortDirection
+from ..obs import metrics, trace
 from .regions import RegionMap
+
+#: histogram buckets for flip-flops substituted per region
+LATCH_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
 
 
 class SubstitutionError(Exception):
@@ -94,23 +98,39 @@ def substitute_flip_flops(
     result = SubstitutionResult()
     excluded = exclude or set()
 
-    flip_flops = [
-        name
-        for name, inst in module.instances.items()
-        if name not in excluded
-        and gatefile.cells.get(inst.cell) is not None
-        and gatefile.is_flip_flop(inst.cell)
-    ]
-    for ff_name in flip_flops:
-        _substitute_one(
-            module, gatefile, library, region_map, chooser, ff_name, result
-        )
+    with trace.span("ffsub", instances=len(module.instances)) as span:
+        flip_flops = [
+            name
+            for name, inst in module.instances.items()
+            if name not in excluded
+            and gatefile.cells.get(inst.cell) is not None
+            and gatefile.is_flip_flop(inst.cell)
+        ]
+        per_region: Dict[str, int] = {}
+        for ff_name in flip_flops:
+            region = region_map.region_of(ff_name)
+            if region is not None:
+                per_region[region] = per_region.get(region, 0) + 1
+            _substitute_one(
+                module, gatefile, library, region_map, chooser, ff_name, result
+            )
 
-    _drop_orphan_clock_gates(module, gatefile, result)
-    for name in result.removed_clock_gates:
-        region = region_map.instance_region.pop(name, None)
-        if region is not None and region in region_map.regions:
-            region_map.regions[region].instances.discard(name)
+        _drop_orphan_clock_gates(module, gatefile, result)
+        for name in result.removed_clock_gates:
+            region = region_map.instance_region.pop(name, None)
+            if region is not None and region in region_map.regions:
+                region_map.regions[region].instances.discard(name)
+        span.set("replaced", result.replaced)
+
+    metrics.counter("desync.ffsub.replaced").inc(result.replaced)
+    # each flip-flop splits into a master/slave latch pair
+    metrics.counter("desync.ffsub.latches").inc(2 * result.replaced)
+    if metrics.enabled():
+        histogram = metrics.histogram(
+            "desync.ffsub.latches_per_region", buckets=LATCH_BUCKETS
+        )
+        for count in per_region.values():
+            histogram.observe(2 * count)
     return result
 
 

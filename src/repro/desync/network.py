@@ -23,6 +23,7 @@ from ..liberty.gatefile import Gatefile
 from ..liberty.model import Library
 from ..liberty.techmap import GateChooser
 from ..netlist.core import Module, PortDirection
+from ..obs import metrics, trace
 from ..sta.analysis import propagate
 from ..sta.graph import build_timing_graph
 from .cmuller import build_cmuller
@@ -132,32 +133,36 @@ def insert_control_network(
         raise NetworkError("no sequential regions: nothing to desynchronize")
     active_set = set(active)
 
-    network.region_delays = region_delays(module, library, region_map, corner)
+    with trace.span("network.region_delays", regions=len(active)):
+        network.region_delays = region_delays(
+            module, library, region_map, corner
+        )
 
     # place the controller pairs first so every handshake net exists;
     # net names are deterministic (xm/ym/xs/ys per region) so that the
     # wiring loop below can reference neighbours before they are wired
-    for region in active:
-        gm = master_enable_net(region)
-        gs = slave_enable_net(region)
-        req_net = f"req_{region}"
-        slave_ao = f"ack_{region}"
-        module.ensure_net(req_net)
-        module.ensure_net(slave_ao)
-        master = place_controller(
-            module, library, region, "master",
-            ri_net=req_net, ao_net=f"ys_{region}", g_net=gm,
-            rst_net=reset_port,
-            x_net=f"xm_{region}", y_net=f"ym_{region}",
-        )
-        slave = place_controller(
-            module, library, region, "slave",
-            ri_net=f"ym_{region}", ao_net=slave_ao, g_net=gs,
-            rst_net=reset_port,
-            x_net=f"xs_{region}", y_net=f"ys_{region}",
-        )
-        network.controllers[(region, "master")] = master
-        network.controllers[(region, "slave")] = slave
+    with trace.span("network.controllers", regions=len(active)):
+        for region in active:
+            gm = master_enable_net(region)
+            gs = slave_enable_net(region)
+            req_net = f"req_{region}"
+            slave_ao = f"ack_{region}"
+            module.ensure_net(req_net)
+            module.ensure_net(slave_ao)
+            master = place_controller(
+                module, library, region, "master",
+                ri_net=req_net, ao_net=f"ys_{region}", g_net=gm,
+                rst_net=reset_port,
+                x_net=f"xm_{region}", y_net=f"ym_{region}",
+            )
+            slave = place_controller(
+                module, library, region, "slave",
+                ri_net=f"ym_{region}", ao_net=slave_ao, g_net=gs,
+                rst_net=reset_port,
+                x_net=f"xs_{region}", y_net=f"ys_{region}",
+            )
+            network.controllers[(region, "master")] = master
+            network.controllers[(region, "slave")] = slave
 
     # enable distribution: heavily loaded enable nets get a buffer tree
     # right away (the backend CTS would re-balance it, section 4.5.1);
@@ -169,10 +174,11 @@ def insert_control_network(
     from .controllers import PULSE_GATE_CELL
 
     tree_levels: Dict[str, int] = {}
-    for region in active:
-        for net in (master_enable_net(region), slave_enable_net(region)):
-            tree = synthesize_tree(module, library, net, max_fanout=12)
-            tree_levels[net] = tree.levels
+    with trace.span("network.enable_trees", regions=len(active)):
+        for region in active:
+            for net in (master_enable_net(region), slave_enable_net(region)):
+                tree = synthesize_tree(module, library, net, max_fanout=12)
+                tree_levels[net] = tree.levels
 
     loads = compute_net_loads(module, library)
     pulse_arc = library.cell(PULSE_GATE_CELL).delay_arcs()[0]
@@ -183,24 +189,25 @@ def insert_control_network(
         12 * library.cell("LDHX1").pins["G"].capacitance
     )
     pulse_width = 2 * library.cell("BUFX1").delay_arcs()[0].worst_delay(0.01)
-    for region in active:
-        gm = master_enable_net(region)
-        insertion = (
-            pulse_arc.worst_delay(loads.get(gm, 0.0))
-            + tree_levels.get(gm, 0) * level_delay
-        )
-        # choose_length compares against the ladder at its own corner
-        target = (insertion + pulse_width) * ladder_derate
-        length = max(1, choose_length(ladder, target, margin=0.25))
-        ack_element = build_delay_element(
-            module,
-            chooser,
-            f"ack_{region}",
-            f"xm_{region}",
-            f"xma_{region}",
-            length,
-        )
-        network.ack_delays[region] = ack_element
+    with trace.span("network.ack_delays", regions=len(active)):
+        for region in active:
+            gm = master_enable_net(region)
+            insertion = (
+                pulse_arc.worst_delay(loads.get(gm, 0.0))
+                + tree_levels.get(gm, 0) * level_delay
+            )
+            # choose_length compares against the ladder at its own corner
+            target = (insertion + pulse_width) * ladder_derate
+            length = max(1, choose_length(ladder, target, margin=0.25))
+            ack_element = build_delay_element(
+                module,
+                chooser,
+                f"ack_{region}",
+                f"xm_{region}",
+                f"xma_{region}",
+                length,
+            )
+            network.ack_delays[region] = ack_element
 
     def _through_inactive(start: str, forward: bool) -> List[str]:
         """Neighbours of ``start``, contracting latch-less regions.
@@ -235,108 +242,109 @@ def insert_control_network(
                     frontier.append(neighbour)
         return out
 
-    for region in active:
-        preds = _through_inactive(region, forward=False)
-        succs = _through_inactive(region, forward=True)
-        ports: Dict[str, str] = {}
+    with trace.span("network.wiring", regions=len(active)):
+        for region in active:
+            preds = _through_inactive(region, forward=False)
+            succs = _through_inactive(region, forward=True)
+            ports: Dict[str, str] = {}
 
-        # ---- request side: preds' slave requests joined, then delayed
-        request_sources: List[str] = []
-        for pred in preds:
-            if pred == ENV:
-                port = f"ri_{region}"
-                module.add_port(port, PortDirection.INPUT)
-                ports["ri"] = port
-                request_sources.append(port)
+            # ---- request side: preds' slave requests joined, then delayed
+            request_sources: List[str] = []
+            for pred in preds:
+                if pred == ENV:
+                    port = f"ri_{region}"
+                    module.add_port(port, PortDirection.INPUT)
+                    ports["ri"] = port
+                    request_sources.append(port)
+                else:
+                    request_sources.append(f"ys_{pred}")
+            if not request_sources:
+                # source-less region: free-run from its own slave request
+                request_sources = [f"ys_{region}"]
+
+            if len(request_sources) == 1:
+                joined = request_sources[0]
             else:
-                request_sources.append(f"ys_{pred}")
-        if not request_sources:
-            # source-less region: free-run from its own slave request
-            request_sources = [f"ys_{region}"]
+                joined = f"reqj_{region}"
+                created = build_cmuller(
+                    module,
+                    request_sources,
+                    joined,
+                    chooser,
+                    prefix=f"cm_req_{region}",
+                    reset=reset_port,
+                    attributes={"region": region, "role": "cmuller"},
+                )
+                network.cmuller_instances.extend(created)
 
-        if len(request_sources) == 1:
-            joined = request_sources[0]
-        else:
-            joined = f"reqj_{region}"
-            created = build_cmuller(
+            target_delay = network.region_delays.get(region, 0.0)
+            # multiplexed elements are built with headroom so the post-layout
+            # calibration can sweep the selection both below and above the
+            # matched point (the DLX experiment, Figure 5.3)
+            sizing_delay = target_delay * (mux_headroom if mux_taps > 1 else 1.0)
+            length = (
+                choose_length(ladder, sizing_delay, delay_margin)
+                if target_delay > 0
+                else 1
+            )
+            element = build_delay_element(
                 module,
-                request_sources,
+                chooser,
+                region,
                 joined,
-                chooser,
-                prefix=f"cm_req_{region}",
-                reset=reset_port,
-                attributes={"region": region, "role": "cmuller"},
+                f"req_{region}",
+                length,
+                mux_taps=mux_taps,
             )
-            network.cmuller_instances.extend(created)
+            network.delay_elements[region] = element
 
-        target_delay = network.region_delays.get(region, 0.0)
-        # multiplexed elements are built with headroom so the post-layout
-        # calibration can sweep the selection both below and above the
-        # matched point (the DLX experiment, Figure 5.3)
-        sizing_delay = target_delay * (mux_headroom if mux_taps > 1 else 1.0)
-        length = (
-            choose_length(ladder, sizing_delay, delay_margin)
-            if target_delay > 0
-            else 1
-        )
-        element = build_delay_element(
-            module,
-            chooser,
-            region,
-            joined,
-            f"req_{region}",
-            length,
-            mux_taps=mux_taps,
-        )
-        network.delay_elements[region] = element
+            if "ri" in ports:
+                ai_port = f"ai_{region}"
+                module.add_port(ai_port, PortDirection.OUTPUT)
+                _buffer(module, chooser, f"xma_{region}", ai_port,
+                        f"envai_{region}", network.cmuller_instances, region)
+                ports["ai"] = ai_port
 
-        if "ri" in ports:
-            ai_port = f"ai_{region}"
-            module.add_port(ai_port, PortDirection.OUTPUT)
-            _buffer(module, chooser, f"xma_{region}", ai_port,
-                    f"envai_{region}", network.cmuller_instances, region)
-            ports["ai"] = ai_port
+            # ---- acknowledge side: successors' master acknowledges joined
+            ack_sources: List[str] = []
+            for succ in succs:
+                if succ == ENV:
+                    ro_port = f"ro_{region}"
+                    ao_port = f"ao_{region}"
+                    module.add_port(ro_port, PortDirection.OUTPUT)
+                    module.add_port(ao_port, PortDirection.INPUT)
+                    _buffer(module, chooser, f"ys_{region}", ro_port,
+                            f"envro_{region}", network.cmuller_instances, region)
+                    ports["ro"] = ro_port
+                    ports["ao"] = ao_port
+                    ack_sources.append(ao_port)
+                else:
+                    ack_sources.append(f"xma_{succ}")
+            if not ack_sources:
+                # sink-less region: self-acknowledge through its own request
+                ack_sources = [f"ys_{region}"]
 
-        # ---- acknowledge side: successors' master acknowledges joined
-        ack_sources: List[str] = []
-        for succ in succs:
-            if succ == ENV:
-                ro_port = f"ro_{region}"
-                ao_port = f"ao_{region}"
-                module.add_port(ro_port, PortDirection.OUTPUT)
-                module.add_port(ao_port, PortDirection.INPUT)
-                _buffer(module, chooser, f"ys_{region}", ro_port,
-                        f"envro_{region}", network.cmuller_instances, region)
-                ports["ro"] = ro_port
-                ports["ao"] = ao_port
-                ack_sources.append(ao_port)
+            ack_net = f"ack_{region}"
+            if len(ack_sources) == 1:
+                # re-route the slave y-element's acknowledge input directly
+                slave = network.controllers[(region, "slave")]
+                module.connect(f"{slave.name}_y", "B", ack_sources[0])
+                slave.ao_net = ack_sources[0]
+                _drop_unused_net(module, ack_net)
             else:
-                ack_sources.append(f"xma_{succ}")
-        if not ack_sources:
-            # sink-less region: self-acknowledge through its own request
-            ack_sources = [f"ys_{region}"]
+                created = build_cmuller(
+                    module,
+                    ack_sources,
+                    ack_net,
+                    chooser,
+                    prefix=f"cm_ack_{region}",
+                    reset=reset_port,
+                    attributes={"region": region, "role": "cmuller"},
+                )
+                network.cmuller_instances.extend(created)
 
-        ack_net = f"ack_{region}"
-        if len(ack_sources) == 1:
-            # re-route the slave y-element's acknowledge input directly
-            slave = network.controllers[(region, "slave")]
-            module.connect(f"{slave.name}_y", "B", ack_sources[0])
-            slave.ao_net = ack_sources[0]
-            _drop_unused_net(module, ack_net)
-        else:
-            created = build_cmuller(
-                module,
-                ack_sources,
-                ack_net,
-                chooser,
-                prefix=f"cm_ack_{region}",
-                reset=reset_port,
-                attributes={"region": region, "role": "cmuller"},
-            )
-            network.cmuller_instances.extend(created)
-
-        if ports:
-            network.env_ports[region] = ports
+            if ports:
+                network.env_ports[region] = ports
 
     _remove_dead_clock_port(module, gatefile)
     return network

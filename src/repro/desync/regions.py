@@ -27,6 +27,10 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..liberty.gatefile import Gatefile
 from ..netlist.core import Module, PortDirection, bus_base
+from ..obs import metrics, trace
+
+#: histogram buckets for region sizes (instances per region)
+REGION_SIZE_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
 
 
 @dataclass
@@ -167,6 +171,16 @@ class _Connectivity:
         return out
 
 
+def record_region_metrics(region_map: RegionMap) -> None:
+    """Publish region count and size distribution to the registry."""
+    metrics.gauge("desync.grouping.regions").set(len(region_map))
+    histogram = metrics.histogram(
+        "desync.region.size", buckets=REGION_SIZE_BUCKETS
+    )
+    for region in region_map.regions.values():
+        histogram.observe(len(region.instances))
+
+
 def group_regions(
     module: Module,
     gatefile: Gatefile,
@@ -174,6 +188,22 @@ def group_regions(
     use_bus_heuristic: bool = True,
 ) -> RegionMap:
     """Run the automatic grouping algorithm of Figure 3.4."""
+    with trace.span("grouping", instances=len(module.instances)) as span:
+        region_map = _group_regions(
+            module, gatefile, false_path_nets, use_bus_heuristic
+        )
+        span.set("regions", len(region_map))
+    metrics.counter("desync.grouping.runs").inc()
+    record_region_metrics(region_map)
+    return region_map
+
+
+def _group_regions(
+    module: Module,
+    gatefile: Gatefile,
+    false_path_nets: Iterable[str],
+    use_bus_heuristic: bool,
+) -> RegionMap:
     conn = _Connectivity(module, gatefile, false_path_nets)
     grouped: Dict[str, int] = {}
     groups: List[Set[str]] = []
@@ -250,6 +280,7 @@ def manual_regions(
         by_region.setdefault(region, set()).add(instance)
     for name, members in sorted(by_region.items()):
         region_map.add(Region(name, members))
+    record_region_metrics(region_map)
     return region_map
 
 
@@ -257,6 +288,7 @@ def single_region(module: Module, name: str = "G1") -> RegionMap:
     """Whole design as one region (the ARM case, section 5.3)."""
     region_map = RegionMap()
     region_map.add(Region(name, set(module.instances)))
+    record_region_metrics(region_map)
     return region_map
 
 
@@ -272,19 +304,21 @@ def validate_independence(
     independent, the precondition of the basic desynchronization
     methodology).
     """
-    conn = _Connectivity(module, gatefile, false_path_nets)
-    problems: List[str] = []
-    for instance in module.instances:
-        if not conn.is_comb(instance):
-            continue
-        source_region = region_map.region_of(instance)
-        for target in conn.targets(instance):
-            if not conn.is_comb(target):
+    with trace.span("validate_independence", regions=len(region_map)) as span:
+        conn = _Connectivity(module, gatefile, false_path_nets)
+        problems: List[str] = []
+        for instance in module.instances:
+            if not conn.is_comb(instance):
                 continue
-            target_region = region_map.region_of(target)
-            if source_region != target_region:
-                problems.append(
-                    f"comb connection {instance} ({source_region}) -> "
-                    f"{target} ({target_region})"
-                )
+            source_region = region_map.region_of(instance)
+            for target in conn.targets(instance):
+                if not conn.is_comb(target):
+                    continue
+                target_region = region_map.region_of(target)
+                if source_region != target_region:
+                    problems.append(
+                        f"comb connection {instance} ({source_region}) -> "
+                        f"{target} ({target_region})"
+                    )
+        span.set("violations", len(problems))
     return problems

@@ -30,6 +30,7 @@ from enum import Enum
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.core import Module
+from ..obs import metrics, trace
 from .cache import ArtifactCache, LazyArtifact, stable_hash
 from .graph import FlowGraph, Stage
 from .journal import RunJournal
@@ -314,8 +315,13 @@ class _RunState:
         key = self.stage_key(stage) if use_cache else None
         self._register_outputs(stage, key)
         if use_cache:
-            cached = cache.get_lazy(key)
+            with trace.span(
+                "cache:" + stage.name, stage=stage.name, graph=self.graph.name
+            ) as cache_span:
+                cached = cache.get_lazy(key)
+                cache_span.set("hit", cached is not None)
             if cached is not None:
+                metrics.counter("engine.cache.hits").inc()
                 # deferred sidecars stay unloaded unless consumed, so
                 # module metrics only cover the inline artifacts here
                 record = StageRecord(
@@ -346,9 +352,20 @@ class _RunState:
             try:
                 with self.lock:
                     inputs = {k: self.artifacts[k] for k in stage.inputs}
-                outputs = stage.call(inputs)
+                # the stage span roots the trace subtree for everything
+                # the stage function does: in-stage instrumentation
+                # (grouping, DDG, STA, ...) nests under it, so engine
+                # timings and fine-grained spans share one trace tree
+                with trace.span(
+                    "stage:" + stage.name,
+                    stage=stage.name,
+                    graph=self.graph.name,
+                    attempt=attempts,
+                ):
+                    outputs = stage.call(inputs)
                 return outputs, attempts
             except Exception as exc:
+                metrics.counter("engine.stage.errors").inc()
                 if attempts > retries:
                     exc.__engine_attempts__ = attempts  # type: ignore[attr-defined]
                     raise
@@ -395,6 +412,7 @@ class _RunState:
         cache = self.engine.cache
         use_cache = cache is not None and cache.enabled and stage.cacheable
         if use_cache and key is not None:
+            metrics.counter("engine.cache.misses").inc()
             cache.put(key, outputs)
         record = StageRecord(
             stage.name,
@@ -506,8 +524,13 @@ class FlowEngine:
             )
         start = time.perf_counter()
         state = _RunState(self, graph, initial, label)
-        self._executor().run(self, state)
+        with trace.span(
+            "run:" + label, graph=graph.name, jobs=self.jobs
+        ) as run_span:
+            self._executor().run(self, state)
         wall = time.perf_counter() - start
+        run_span.set("stages", len(state.records))
+        metrics.counter("engine.runs").inc()
         result = FlowResult(
             name=label,
             artifacts=state.artifacts,

@@ -27,12 +27,18 @@ class RunJournal:
             self._handle = open(path, "a" if append else "w")
 
     def record(self, event: str, **fields: Any) -> Dict[str, Any]:
-        """Record one event; returns the stamped entry."""
+        """Record one event; returns the stamped entry.
+
+        Recording after :meth:`close` keeps accepting events in memory
+        -- late writers (a timed-out stage's abandoned worker thread,
+        an exporter flushing after the run) must not crash on the
+        closed file handle.
+        """
         entry: Dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
         entry.update(fields)
         with self._lock:
             self.events.append(entry)
-            if self._handle is not None:
+            if self._handle is not None and not self._handle.closed:
                 self._handle.write(json.dumps(entry, default=str) + "\n")
                 self._handle.flush()
         return entry
@@ -66,11 +72,20 @@ class RunJournal:
 
 
 def read_journal(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL journal file back into a list of event dicts."""
+    """Parse a JSONL journal file back into a list of event dicts.
+
+    A crash-interrupted run leaves a truncated final line; the valid
+    prefix is returned and the partial tail is skipped instead of
+    raising ``json.JSONDecodeError``.
+    """
     events: List[Dict[str, Any]] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
     return events

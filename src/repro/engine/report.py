@@ -13,6 +13,9 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..obs.export import aggregate_spans
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from .cache import ArtifactCache
 from .executor import FlowResult, StageStatus
 
@@ -54,8 +57,17 @@ def render_report(result: FlowResult) -> str:
 def engine_stats(
     results: Iterable[FlowResult],
     cache: Optional[ArtifactCache] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, Any]:
-    """Aggregate per-stage timings and cache accounting across runs."""
+    """Aggregate per-stage timings and cache accounting across runs.
+
+    With a :class:`~repro.obs.trace.Tracer` and/or
+    :class:`~repro.obs.metrics.MetricsRegistry` attached, the document
+    also carries the aggregated span tree (``"trace"``) and the metric
+    snapshot (``"metrics"``), so ``engine-stats.json`` tracks the
+    fine-grained observability data alongside the stage timings.
+    """
     stages: Dict[str, Dict[str, Any]] = {}
     runs = 0
     wall = 0.0
@@ -86,6 +98,10 @@ def engine_stats(
     }
     if cache is not None:
         stats["cache"] = cache.stats.as_dict()
+    if tracer is not None:
+        stats["trace"] = aggregate_spans(tracer)
+    if registry is not None:
+        stats["metrics"] = registry.snapshot()
     return stats
 
 
@@ -94,9 +110,11 @@ def write_engine_stats(
     results: Iterable[FlowResult],
     cache: Optional[ArtifactCache] = None,
     extra: Optional[Dict[str, Any]] = None,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, Any]:
     """Persist :func:`engine_stats` (plus ``extra`` fields) as JSON."""
-    stats = engine_stats(results, cache)
+    stats = engine_stats(results, cache, tracer=tracer, registry=registry)
     if extra:
         stats.update(extra)
     with open(path, "w") as handle:

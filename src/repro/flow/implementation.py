@@ -19,6 +19,7 @@ post-synthesis reports survive.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -30,9 +31,12 @@ from ..engine.stages import library_fingerprint
 from ..liberty.gatefile import Gatefile, build_gatefile
 from ..liberty.model import Library
 from ..netlist.core import Module
+from ..obs import trace
 from ..physical.backend import BackendResult, run_backend
 from ..sta.analysis import min_clock_period
 from .reports import AreaReport, ComparisonTable, area_report
+
+log = logging.getLogger("repro.flow")
 
 #: engine used when the caller does not supply one: deterministic
 #: serial execution, no cache -- the historical behaviour
@@ -334,19 +338,29 @@ def implement_synchronous(
 ) -> ImplementationResult:
     """The conventional flow: (DFT) -> P&R -> reports."""
     engine = engine or default_engine()
-    gatefile = build_gatefile(library)
-    graph = FlowGraph("implement-sync")
-    graph.add_stages(
-        _synchronous_stages(
-            library, gatefile, with_scan, target_utilization, run_pnr
+    log.info("implementing %s (synchronous flow)", module.name)
+    with trace.span("flow:sync", module=module.name) as span:
+        gatefile = build_gatefile(library)
+        graph = FlowGraph("implement-sync")
+        graph.add_stages(
+            _synchronous_stages(
+                library, gatefile, with_scan, target_utilization, run_pnr
+            )
         )
-    )
-    result = engine.run(
-        graph,
-        initial={"module.input": module},
-        label=f"sync:{module.name}",
-    )
-    return _assemble_synchronous(module, library, gatefile, result)
+        result = engine.run(
+            graph,
+            initial={"module.input": module},
+            label=f"sync:{module.name}",
+        )
+        out = _assemble_synchronous(module, library, gatefile, result)
+        span.set("failures", len(out.failures))
+    if out.failures:
+        log.warning(
+            "%s: tolerated stage failures: %s",
+            module.name,
+            ", ".join(sorted(out.failures)),
+        )
+    return out
 
 
 def implement_desynchronized(
@@ -362,18 +376,28 @@ def implement_desynchronized(
     """The desynchronization flow: (DFT) -> drdesync -> P&R -> reports."""
     engine = engine or default_engine()
     tool = tool or Drdesync(library)
-    graph = FlowGraph("implement-desync")
-    graph.add_stages(
-        _desynchronized_stages(
-            tool, options, with_scan, target_utilization, run_pnr
+    log.info("implementing %s (desynchronization flow)", module.name)
+    with trace.span("flow:desync", module=module.name) as span:
+        graph = FlowGraph("implement-desync")
+        graph.add_stages(
+            _desynchronized_stages(
+                tool, options, with_scan, target_utilization, run_pnr
+            )
         )
-    )
-    result = engine.run(
-        graph,
-        initial={"module.input": module},
-        label=f"desync:{module.name}",
-    )
-    return _assemble_desynchronized(module, tool, result)
+        result = engine.run(
+            graph,
+            initial={"module.input": module},
+            label=f"desync:{module.name}",
+        )
+        out = _assemble_desynchronized(module, tool, result)
+        span.set("failures", len(out.failures))
+    if out.failures:
+        log.warning(
+            "%s: tolerated stage failures: %s",
+            module.name,
+            ", ".join(sorted(out.failures)),
+        )
+    return out
 
 
 def implement_comparison(
@@ -395,46 +419,49 @@ def implement_comparison(
     prefix independently.
     """
     engine = engine or default_engine()
-    gatefile = build_gatefile(library)
-    tool = Drdesync(library)
-    graph = FlowGraph(f"compare:{design_name}")
-    graph.add_stages(
-        _synchronous_stages(
-            library,
-            gatefile,
-            with_scan,
-            sync_utilization,
-            run_pnr,
-            prefix="sync:",
-            module_input="sync:module.input",
+    log.info("comparing %s: synchronous vs desynchronized", design_name)
+    with trace.span("flow:compare", design=design_name):
+        gatefile = build_gatefile(library)
+        tool = Drdesync(library)
+        graph = FlowGraph(f"compare:{design_name}")
+        graph.add_stages(
+            _synchronous_stages(
+                library,
+                gatefile,
+                with_scan,
+                sync_utilization,
+                run_pnr,
+                prefix="sync:",
+                module_input="sync:module.input",
+            )
         )
-    )
-    graph.add_stages(
-        _desynchronized_stages(
-            tool,
-            options,
-            with_scan,
-            desync_utilization,
-            run_pnr,
-            prefix="desync:",
-            module_input="desync:module.input",
+        graph.add_stages(
+            _desynchronized_stages(
+                tool,
+                options,
+                with_scan,
+                desync_utilization,
+                run_pnr,
+                prefix="desync:",
+                module_input="desync:module.input",
+            )
         )
-    )
-    result = engine.run(
-        graph,
-        initial={
-            "sync:module.input": sync_module,
-            "desync:module.input": desync_module,
-        },
-        label=f"compare:{design_name}",
-    )
-    sync = _assemble_synchronous(
-        sync_module, library, gatefile, result, prefix="sync:"
-    )
-    desync = _assemble_desynchronized(
-        desync_module, tool, result, prefix="desync:"
-    )
+        result = engine.run(
+            graph,
+            initial={
+                "sync:module.input": sync_module,
+                "desync:module.input": desync_module,
+            },
+            label=f"compare:{design_name}",
+        )
+        sync = _assemble_synchronous(
+            sync_module, library, gatefile, result, prefix="sync:"
+        )
+        desync = _assemble_desynchronized(
+            desync_module, tool, result, prefix="desync:"
+        )
     table = compare_implementations(design_name, sync, desync)
+    log.debug("comparison table for %s assembled", design_name)
     return sync, desync, table
 
 

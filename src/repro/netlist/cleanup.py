@@ -15,6 +15,7 @@ from __future__ import annotations
 import re
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs import metrics, trace
 from .core import Module, PinRef, PortDirection
 
 
@@ -227,18 +228,25 @@ def clean_logic(module: Module, gatefile, protected_nets=None) -> Dict[str, int]
     Removes buffers and double inverters so grouping sees only true data
     dependencies.  Returns counts of removed cells per category.
     """
-    buffers = {
-        name: (info.data_inputs[0], info.outputs[0])
-        for name, info in gatefile.cells.items()
-        if info.is_buffer
-    }
-    inverters = {
-        name: (info.data_inputs[0], info.outputs[0])
-        for name, info in gatefile.cells.items()
-        if info.is_inverter
-    }
-    removed_buffers = remove_buffers(module, buffers, protected_nets)
-    removed_inverters = remove_inverter_pairs(
-        module, inverters, gatefile, protected_nets
+    with trace.span("clean_logic", instances=len(module.instances)) as span:
+        buffers = {
+            name: (info.data_inputs[0], info.outputs[0])
+            for name, info in gatefile.cells.items()
+            if info.is_buffer
+        }
+        inverters = {
+            name: (info.data_inputs[0], info.outputs[0])
+            for name, info in gatefile.cells.items()
+            if info.is_inverter
+        }
+        removed_buffers = remove_buffers(module, buffers, protected_nets)
+        removed_inverters = remove_inverter_pairs(
+            module, inverters, gatefile, protected_nets
+        )
+        span.set("buffers", removed_buffers)
+        span.set("inverter_pairs", removed_inverters)
+    metrics.counter("netlist.clean.buffers_removed").inc(removed_buffers)
+    metrics.counter("netlist.clean.inverter_cells_removed").inc(
+        removed_inverters
     )
     return {"buffers": removed_buffers, "inverter_pairs": removed_inverters}

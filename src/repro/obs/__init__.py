@@ -1,0 +1,58 @@
+"""repro.obs -- tracing, metrics and flow profiling.
+
+The observability layer of the reproduction: a hierarchical span
+tracer (:mod:`repro.obs.trace`), a metrics registry of counters,
+gauges and fixed-bucket histograms (:mod:`repro.obs.metrics`), the
+exporters that turn them into Chrome trace-event JSON / text reports /
+``metrics.json`` (:mod:`repro.obs.export`), and the ``logging``
+configuration for the ``repro`` logger hierarchy
+(:mod:`repro.obs.logsetup`).
+
+Both tracing and metrics are disabled by default and near-zero-cost in
+that state; the CLI's ``--trace`` / ``--metrics`` flags (or an explicit
+``set_tracer`` / ``set_registry``) opt in::
+
+    from repro.obs import trace, metrics
+    from repro.obs.export import write_chrome_trace, write_metrics
+
+    trace.set_tracer(trace.Tracer())
+    metrics.set_registry(metrics.MetricsRegistry())
+    ...run the flow...
+    write_chrome_trace("trace.json")      # open in ui.perfetto.dev
+    write_metrics("metrics.json")
+"""
+
+from . import export, logsetup, metrics, trace
+from .export import (
+    aggregate_spans,
+    chrome_trace_events,
+    phase_times,
+    summary_report,
+    write_chrome_trace,
+    write_metrics,
+)
+from .logsetup import configure_logging, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "chrome_trace_events",
+    "configure_logging",
+    "export",
+    "get_logger",
+    "logsetup",
+    "metrics",
+    "phase_times",
+    "summary_report",
+    "trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,191 @@
+"""Exporters: Chrome trace-event JSON, text summaries, metrics files.
+
+``write_chrome_trace`` emits the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_:
+one complete (``"ph": "X"``) event per finished span, with timestamps
+in microseconds, plus thread-name metadata so engine worker threads
+are labelled.  Perfetto reconstructs the span tree from the per-thread
+ts/dur nesting, so the exported file shows in-stage spans stacked
+under their engine stage exactly as they ran.
+
+``summary_report`` renders the aggregated tree as text (the poor
+operator's flame graph); ``write_metrics`` persists a
+:class:`repro.obs.metrics.MetricsRegistry` snapshot; ``phase_times``
+extracts per-stage wall times (the ``BENCH_obs.json`` payload) from a
+tracer or from a previously written trace file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry, get_registry
+from .trace import Span, Tracer, get_tracer
+
+#: span-name prefix the engine gives to stage spans
+STAGE_PREFIX = "stage:"
+
+
+def chrome_trace_events(tracer: Optional[Tracer] = None) -> List[Dict[str, Any]]:
+    """Finished spans as a list of Chrome trace-event dicts."""
+    tracer = tracer or get_tracer()
+    pid = os.getpid()
+    events: List[Dict[str, Any]] = []
+    thread_names: Dict[int, str] = {}
+    for span in tracer.finished():
+        thread_names.setdefault(span.thread_id, span.thread_name)
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": round((tracer.epoch + span.start) * 1e6, 3),
+            "dur": round(span.duration * 1e6, 3),
+            "pid": pid,
+            "tid": span.thread_id,
+        }
+        if span.attrs:
+            event["args"] = {k: _jsonable(v) for k, v in span.attrs.items()}
+        events.append(event)
+    for tid, name in sorted(thread_names.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return events
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """Write the tracer's spans as a Chrome trace-event JSON file."""
+    document = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+def aggregate_spans(tracer: Optional[Tracer] = None) -> Dict[str, Dict[str, Any]]:
+    """Per-path aggregation: count, total/self wall time, mean.
+
+    Self time is the span's duration minus its direct children's, i.e.
+    where the wall clock actually went.
+    """
+    tracer = tracer or get_tracer()
+    spans = tracer.finished()
+    child_time: Dict[int, float] = {}
+    for span in spans:
+        if span.parent is not None:
+            key = id(span.parent)
+            child_time[key] = child_time.get(key, 0.0) + span.duration
+    out: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        entry = out.setdefault(
+            span.path,
+            {"count": 0, "total_s": 0.0, "self_s": 0.0, "depth": span.depth},
+        )
+        entry["count"] += 1
+        entry["total_s"] += span.duration
+        entry["self_s"] += span.duration - child_time.get(id(span), 0.0)
+    for entry in out.values():
+        entry["total_s"] = round(entry["total_s"], 6)
+        entry["self_s"] = round(max(entry["self_s"], 0.0), 6)
+        entry["mean_s"] = round(entry["total_s"] / entry["count"], 6)
+    return out
+
+
+def summary_report(tracer: Optional[Tracer] = None) -> str:
+    """Aggregated span tree as indented text, heaviest paths first."""
+    aggregated = aggregate_spans(tracer)
+    if not aggregated:
+        return "(no spans recorded)"
+    lines = [
+        f"{'span':44s} {'count':>6s} {'total (s)':>10s} "
+        f"{'self (s)':>10s} {'mean (s)':>10s}"
+    ]
+    # depth-first over the path hierarchy, siblings by total time
+    def children_of(path: Optional[str]) -> List[str]:
+        prefix = f"{path}/" if path else ""
+        depth = path.count("/") + 1 if path else 0
+        found = [
+            p
+            for p in aggregated
+            if p.startswith(prefix) and p.count("/") == depth
+        ]
+        return sorted(found, key=lambda p: -aggregated[p]["total_s"])
+
+    def emit(path: str) -> None:
+        entry = aggregated[path]
+        label = "  " * entry["depth"] + path.rsplit("/", 1)[-1]
+        lines.append(
+            f"{label:44s} {entry['count']:>6d} {entry['total_s']:>10.4f} "
+            f"{entry['self_s']:>10.4f} {entry['mean_s']:>10.4f}"
+        )
+        for child in children_of(path):
+            emit(child)
+
+    for root in children_of(None):
+        emit(root)
+    return "\n".join(lines)
+
+
+def phase_times(
+    tracer: Optional[Tracer] = None,
+    trace_file: Optional[str] = None,
+    prefix: str = STAGE_PREFIX,
+) -> Dict[str, float]:
+    """Wall seconds per engine stage (``stage:*`` spans).
+
+    Reads either a live tracer or a Chrome trace file written earlier
+    by :func:`write_chrome_trace` -- the CI smoke job uses the latter
+    to build ``BENCH_obs.json`` from the uploaded trace artifact.
+    """
+    totals: Dict[str, float] = {}
+    if trace_file is not None:
+        with open(trace_file) as handle:
+            document = json.load(handle)
+        for event in document.get("traceEvents", []):
+            name = event.get("name", "")
+            if event.get("ph") == "X" and name.startswith(prefix):
+                totals[name[len(prefix):]] = (
+                    totals.get(name[len(prefix):], 0.0)
+                    + event.get("dur", 0.0) / 1e6
+                )
+    else:
+        for span in (tracer or get_tracer()).finished():
+            if span.name.startswith(prefix):
+                totals[span.name[len(prefix):]] = (
+                    totals.get(span.name[len(prefix):], 0.0) + span.duration
+                )
+    return {name: round(total, 6) for name, total in sorted(totals.items())}
+
+
+def write_metrics(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Persist a metrics snapshot (plus ``extra`` fields) as JSON."""
+    snapshot = (registry or get_registry()).snapshot()
+    if extra:
+        snapshot.update(extra)
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return snapshot

@@ -1,0 +1,63 @@
+"""Logging configuration for the ``repro`` logger hierarchy.
+
+All progress output in the package goes through stdlib loggers under
+the ``"repro"`` root (``repro.cli``, ``repro.flow``, ...), so library
+users inherit standard ``logging`` behaviour and the CLI maps
+``-v`` / ``--log-level`` / ``--quiet`` onto it.
+
+``configure_logging`` is idempotent and re-binds the stream on every
+call (handlers it installed before are replaced), so repeated CLI
+invocations in one process -- the test suite -- always write to the
+*current* ``sys.stdout``/``sys.stderr``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: marker attribute on handlers this module installed
+_MARKER = "_repro_obs_handler"
+
+
+def resolve_level(name: str) -> int:
+    try:
+        return _LEVELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {name!r} (choose from {sorted(_LEVELS)})"
+        )
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("cli")``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_logging(
+    level: str = "info",
+    stream: Optional[TextIO] = None,
+    fmt: str = "%(message)s",
+) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger with one stream handler."""
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _MARKER, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _MARKER, True)
+    logger.addHandler(handler)
+    logger.setLevel(resolve_level(level))
+    logger.propagate = False
+    return logger

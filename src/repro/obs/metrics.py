@@ -1,0 +1,248 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The flow records the quantities the paper's evaluation tables are made
+of -- region counts and sizes, DDG fan-in, latches per region, delay
+ladder selection error, C-element tree depth, cache hits -- as named
+instruments in a :class:`MetricsRegistry`::
+
+    from repro.obs import metrics
+
+    metrics.counter("desync.ffsub.replaced").inc(42)
+    metrics.histogram("desync.region.size", buckets=(1, 10, 100)).observe(37)
+
+Like tracing, metrics collection is **disabled by default**: the
+module-level helpers then return shared no-op instruments, so
+instrumented code pays one lookup and one ``if``.  A registry snapshot
+serialises to plain JSON (:meth:`MetricsRegistry.snapshot`, exported
+by :func:`repro.obs.export.write_metrics`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+#: default histogram bucket upper bounds (generic count-like data)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def snapshot(self) -> Optional[float]:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds: an observation lands in the
+    first bucket whose bound is >= the value; anything above the last
+    bound lands in the overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow",
+                 "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r} needs sorted bucket bounds")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(buckets)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            index = bisect.bisect_left(self.bounds, value)
+            if index == len(self.bounds):
+                self.overflow += 1
+            else:
+                self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            buckets = {
+                f"<={bound:g}": count
+                for bound, count in zip(self.bounds, self.counts)
+            }
+            buckets[f">{self.bounds[-1]:g}"] = self.overflow
+            return {
+                "buckets": buckets,
+                "count": self.count,
+                "sum": round(self.total, 6),
+                "mean": round(self.total / self.count, 6) if self.count else 0.0,
+                "min": self.min,
+                "max": self.max,
+            }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = None
+
+    def inc(self, _amount: int = 1) -> None:
+        return None
+
+    def set(self, _value: float) -> None:
+        return None
+
+    def observe(self, _value: float) -> None:
+        return None
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, thread-safe."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        instrument = self._get(name, lambda: Counter(name))
+        if not isinstance(instrument, Counter):
+            raise TypeError(f"metric {name!r} is a {type(instrument).__name__}")
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        instrument = self._get(name, lambda: Gauge(name))
+        if not isinstance(instrument, Gauge):
+            raise TypeError(f"metric {name!r} is a {type(instrument).__name__}")
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        instrument = self._get(name, lambda: Histogram(name, buckets))
+        if not isinstance(instrument, Histogram):
+            raise TypeError(f"metric {name!r} is a {type(instrument).__name__}")
+        return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as one JSON-serialisable document."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, instrument in items:
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.snapshot()
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.snapshot()
+            elif isinstance(instrument, Histogram):
+                out["histograms"][name] = instrument.snapshot()
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+
+#: the process-wide active registry; disabled until someone opts in
+_active = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    return _active
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    global _active
+    _active = registry
+    return registry
+
+
+def reset_registry() -> MetricsRegistry:
+    """Restore the disabled default registry (tests, CLI teardown)."""
+    return set_registry(MetricsRegistry(enabled=False))
+
+
+def counter(name: str) -> Counter:
+    return _active.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _active.gauge(name)
+
+
+def histogram(name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+    return _active.histogram(name, buckets)
+
+
+def enabled() -> bool:
+    return _active.enabled

@@ -1,0 +1,216 @@
+"""Hierarchical span tracer for the desynchronization flow.
+
+A *span* is one timed section of work -- an engine stage, a grouping
+pass, a single STA propagation -- opened as a context manager::
+
+    from repro.obs import trace
+
+    with trace.span("grouping", instances=1200) as sp:
+        ...
+        sp.set("regions", 7)
+
+Spans nest: each thread keeps its own span stack, so a span opened
+while another is active on the same thread becomes its child, while
+spans opened on engine worker threads become roots of their thread's
+subtree.  Finished spans accumulate on the tracer and are exported by
+:mod:`repro.obs.export` as Chrome trace-event JSON (chrome://tracing,
+Perfetto) or a plain-text summary.
+
+Tracing is **disabled by default** and designed to be near-zero-cost
+in that state: ``trace.span(...)`` on a disabled tracer returns a
+shared no-op span without allocating, so instrumented hot paths pay
+one attribute lookup and one ``if``.
+
+A tracer can mirror finished spans into a
+:class:`repro.engine.journal.RunJournal` (duck-typed via ``record``)
+so the JSONL run journal and the trace tree tell one story.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed, attributed section of work (a context manager)."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start",
+        "end",
+        "parent",
+        "depth",
+        "thread_id",
+        "thread_name",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.parent: Optional["Span"] = None
+        self.depth = 0
+        self.thread_id = 0
+        self.thread_name = ""
+
+    @property
+    def duration(self) -> float:
+        """Wall time in seconds (0.0 while the span is still open)."""
+        return max(0.0, self.end - self.start)
+
+    @property
+    def path(self) -> str:
+        """Slash-joined ancestry, e.g. ``stage:group/grouping``."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}/{self.name}"
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one key/value attribute; returns the span."""
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        stack = self._tracer._thread_stack()
+        if stack:
+            self.parent = stack[-1]
+            self.depth = self.parent.depth + 1
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        self.end = time.perf_counter()
+        if exc is not None:
+            self.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        stack = self._tracer._thread_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._finish(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration:.6f}s, depth={self.depth})"
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+    def set(self, _key: str, _value: Any) -> "_NullSpan":
+        return self
+
+
+#: the singleton every disabled ``span()`` call returns
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Thread-safe collector of hierarchical spans.
+
+    ``journal`` may be any object with a ``record(event, **fields)``
+    method (a :class:`repro.engine.journal.RunJournal`): every finished
+    span is then mirrored as a ``"span"`` journal event.
+    """
+
+    def __init__(self, enabled: bool = True, journal: Optional[Any] = None):
+        self.enabled = enabled
+        self.journal = journal
+        #: perf_counter -> wall-clock epoch offset, for absolute export
+        self.epoch = time.time() - time.perf_counter()
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._local = threading.local()
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Open a new span (context manager); no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _thread_stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+        if self.journal is not None:
+            self.journal.record(
+                "span",
+                name=span.name,
+                path=span.path,
+                duration=round(span.duration, 6),
+                depth=span.depth,
+                thread=span.thread_name,
+                attrs=span.attrs or None,
+            )
+
+    # -- inspection ----------------------------------------------------
+    def finished(self) -> List[Span]:
+        """Snapshot of finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def roots(self) -> List[Span]:
+        return [span for span in self.finished() if span.parent is None]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+#: the process-wide active tracer; disabled until someone opts in
+_active = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer."""
+    return _active
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide active tracer."""
+    global _active
+    _active = tracer
+    return tracer
+
+
+def reset_tracer() -> Tracer:
+    """Restore the disabled default tracer (tests, CLI teardown)."""
+    return set_tracer(Tracer(enabled=False))
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer (the instrumentation entry)."""
+    tracer = _active
+    if not tracer.enabled:
+        return NULL_SPAN
+    return Span(tracer, name, attrs)
+
+
+def enabled() -> bool:
+    return _active.enabled

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..liberty.model import Library
 from ..netlist.core import Module
+from ..obs import metrics, trace
 from .graph import Disable, Node, TimingGraph, build_timing_graph
 
 
@@ -77,6 +78,19 @@ def propagate(
     clock_period: Optional[float] = None,
 ) -> StaReport:
     """Run max-delay propagation and backtrace the critical path."""
+    with trace.span("sta.propagate") as span:
+        report = _propagate(graph, input_arrival, clock_period)
+        span.set("nodes", len(report.arrivals))
+        span.set("critical_delay", round(report.critical_delay, 6))
+    metrics.counter("sta.propagations").inc()
+    return report
+
+
+def _propagate(
+    graph: TimingGraph,
+    input_arrival: float,
+    clock_period: Optional[float],
+) -> StaReport:
     arrivals: Dict[Node, float] = {}
     parent: Dict[Node, Node] = {}
     for node, clk_to_q in graph.launch_nodes.items():
@@ -136,8 +150,9 @@ def analyze(
     disables: Optional[Iterable[Disable]] = None,
 ) -> StaReport:
     """One-call STA: build the graph for a corner and propagate."""
-    graph = build_timing_graph(module, library, corner, disables)
-    return propagate(graph, clock_period=clock_period)
+    with trace.span("sta.analyze", module=module.name, corner=corner):
+        graph = build_timing_graph(module, library, corner, disables)
+        return propagate(graph, clock_period=clock_period)
 
 
 def min_clock_period(
@@ -164,10 +179,11 @@ def region_critical_path(
     capture points its sequential data inputs: precisely the delay a
     matched delay element must cover (section 2.4.4).
     """
-    graph = build_timing_graph(
-        module, library, corner, instance_filter=instances
-    )
-    return propagate(graph).critical_delay
+    with trace.span("sta.region_critical_path", instances=len(instances)):
+        graph = build_timing_graph(
+            module, library, corner, instance_filter=instances
+        )
+        return propagate(graph).critical_delay
 
 
 def path_to_text(report: StaReport) -> str:
