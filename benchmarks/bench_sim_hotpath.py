@@ -1,0 +1,287 @@
+"""Simulator hot-path benchmark: compiled vs reference kernel.
+
+Runs the DLX flow-equivalence workload (the paper's section 2.1
+property on the reduced DLX core) under both simulator kernels and
+measures the *event-loop* time -- cumulative wall time inside
+``Simulator.run_until`` -- for the synchronous and the desynchronized
+phase.  Produces ``BENCH_sim.json`` with the loop times and the
+reference/compiled speedup ratios.
+
+Correctness is asserted, not assumed: both kernels must produce
+identical capture sequences, toggle counts and event counts, and the
+flow-equivalence verdict (every flip-flop's data sequence equals its
+slave latch's) must hold under both.
+
+Speedup *ratios* are the stable metric: absolute wall times vary with
+machine load, but both kernels see the same machine, so the ratio
+survives CI-runner noise.  The regression check therefore compares
+ratios, never seconds.
+
+Run directly (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_sim_hotpath.py [OUT_DIR]
+        [--check BASELINE_JSON] [--repeats N]
+
+``--check`` compares the fresh combined speedup against a committed
+baseline ``BENCH_sim.json`` and exits non-zero when it regresses by
+more than 25%.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.designs import DlxMemories, assemble, dlx_core  # noqa: E402
+from repro.designs.dlx_env import dlx_respond  # noqa: E402
+from repro.desync import Drdesync  # noqa: E402
+from repro.liberty import core9_hs  # noqa: E402
+from repro.sim.flowequiv import (  # noqa: E402
+    FlowEquivalenceReport,
+    _compare_sequences,
+)
+from repro.sim.reactive import ReactiveEnvironment  # noqa: E402
+from repro.sim.testbench import SyncTestbench, initialize_registers  # noqa: E402
+import repro.sim.simulator as simulator_mod  # noqa: E402
+
+N = ("nop",)
+PROGRAM = assemble([
+    ("addi", 1, 0, 5), ("addi", 2, 0, 7), N, N,
+    ("add", 3, 1, 2), ("sub", 4, 2, 1), N, N,
+    ("sw", 3, 0, 0), ("xor", 5, 3, 4), N, N,
+    ("lw", 6, 0, 0), ("slt", 7, 4, 3), N, N,
+])
+CYCLES = 40
+SYNC_PERIOD = 12.0
+REGRESSION_TOLERANCE = 0.25  # fail when speedup drops >25% vs baseline
+
+
+class _LoopTimer:
+    """Accumulates wall time spent inside ``Simulator.run_until``."""
+
+    def __init__(self):
+        self.seconds = 0.0
+        self.calls = 0
+        self._original = simulator_mod.Simulator.run_until
+
+    def install(self):
+        timer = self
+        original = self._original
+
+        def timed_run_until(sim, *args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return original(sim, *args, **kwargs)
+            finally:
+                timer.seconds += time.perf_counter() - start
+                timer.calls += 1
+
+        simulator_mod.Simulator.run_until = timed_run_until
+        return self
+
+    def uninstall(self):
+        simulator_mod.Simulator.run_until = self._original
+
+    def reset(self):
+        self.seconds = 0.0
+        self.calls = 0
+
+
+def _respond(sim):
+    return dlx_respond(DlxMemories(PROGRAM), width=16)
+
+
+def _run_sync(golden, library, kernel, timer):
+    sim = simulator_mod.Simulator(golden, library, kernel=kernel)
+    respond = _respond(sim)
+    bits = golden.port_bits()
+
+    def stimulus(cycle):
+        return respond(cycle, {b: sim.net_values.get(b) for b in bits})
+
+    initialize_registers(sim, 0)
+    timer.reset()
+    SyncTestbench(sim, clock="clk", period=SYNC_PERIOD).run_cycles(
+        CYCLES, stimulus
+    )
+    return sim, timer.seconds, timer.calls
+
+
+def _run_desync(result, library, kernel, timer):
+    sim = simulator_mod.Simulator(result.module, library, kernel=kernel)
+    env = ReactiveEnvironment.attach(sim, result, _respond(sim))
+    timer.reset()
+    env.reset(0)
+    env.run_items(CYCLES)
+    return sim, timer.seconds, timer.calls
+
+
+def _signature(sim):
+    """Everything the two kernels must agree on."""
+    return (
+        [(e.instance, e.value) for e in sim.captures],
+        dict(sim.toggle_counts),
+        sim.event_count,
+    )
+
+
+def run_bench(repeats=3):
+    library = core9_hs()
+    module = dlx_core(library, registers=8, multiplier=False, width=16)
+    golden = module.clone()
+    result = Drdesync(library).run(module)
+
+    timer = _LoopTimer().install()
+    phases = {}
+    signatures = {}
+    sims = {}
+    try:
+        for phase, runner, target in (
+            ("sync", _run_sync, golden),
+            ("desync", _run_desync, result),
+        ):
+            phases[phase] = {}
+            for kernel in ("reference", "compiled"):
+                best = None
+                for _ in range(repeats):
+                    sim, seconds, calls = runner(
+                        target, library, kernel, timer
+                    )
+                    signature = _signature(sim)
+                    key = (phase, kernel)
+                    if key in signatures and signatures[key] != signature:
+                        raise SystemExit(
+                            f"{phase}/{kernel}: non-deterministic repeat"
+                        )
+                    signatures[key] = signature
+                    sims[key] = sim
+                    if best is None or seconds < best:
+                        best = seconds
+                phases[phase][kernel] = {
+                    "loop_s": round(best, 6),
+                    "run_until_calls": calls,
+                    "events": sim.event_count,
+                    "evaluations": sim.evaluation_count,
+                    "captures": len(sim.captures),
+                }
+    finally:
+        timer.uninstall()
+
+    # -- kernel parity: the optimized loop must be observationally
+    #    identical to the reference loop
+    for phase in ("sync", "desync"):
+        if signatures[(phase, "reference")] != signatures[(phase, "compiled")]:
+            raise SystemExit(
+                f"{phase}: compiled kernel diverges from reference "
+                "(captures/toggles/events differ)"
+            )
+
+    # -- flow equivalence must hold under both kernels
+    verdicts = {}
+    for kernel in ("reference", "compiled"):
+        report = FlowEquivalenceReport(cycles=CYCLES)
+        _compare_sequences(
+            report,
+            sims[("sync", kernel)].capture_sequences(),
+            sims[("desync", kernel)].capture_sequences(),
+            sims[("desync", kernel)],
+        )
+        if not report.equivalent:
+            raise SystemExit(
+                f"flow equivalence broken under {kernel} kernel: "
+                f"{report.mismatches[:3]}"
+            )
+        verdicts[kernel] = {
+            "equivalent": report.equivalent,
+            "compared": report.compared,
+        }
+
+    ref_total = sum(phases[p]["reference"]["loop_s"] for p in phases)
+    cmp_total = sum(phases[p]["compiled"]["loop_s"] for p in phases)
+    bench = {
+        "bench": "sim_hotpath",
+        "design": "dlx_small (8 regs, 16-bit, no multiplier)",
+        "workload": f"{CYCLES}-cycle flow-equivalence run",
+        "repeats": repeats,
+        "phases": phases,
+        "speedup": {
+            "sync": round(
+                phases["sync"]["reference"]["loop_s"]
+                / max(phases["sync"]["compiled"]["loop_s"], 1e-12),
+                3,
+            ),
+            "desync": round(
+                phases["desync"]["reference"]["loop_s"]
+                / max(phases["desync"]["compiled"]["loop_s"], 1e-12),
+                3,
+            ),
+            "combined": round(ref_total / max(cmp_total, 1e-12), 3),
+        },
+        "flow_equivalence": verdicts,
+        "identical_captures": True,
+    }
+    return bench
+
+
+def check_regression(bench, baseline_path):
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    base = baseline["speedup"]["combined"]
+    fresh = bench["speedup"]["combined"]
+    floor = base * (1.0 - REGRESSION_TOLERANCE)
+    print(
+        f"regression check: combined speedup {fresh:.2f}x "
+        f"vs baseline {base:.2f}x (floor {floor:.2f}x)"
+    )
+    if fresh < floor:
+        print(
+            f"FAIL: simulator event loop regressed "
+            f"{(1.0 - fresh / base) * 100:.0f}% vs committed baseline"
+        )
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "out_dir",
+        nargs="?",
+        default=os.path.join(os.path.dirname(__file__), "results"),
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE_JSON",
+        help="fail when combined speedup regresses >25%% vs this baseline",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    bench = run_bench(repeats=args.repeats)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_file = os.path.join(args.out_dir, "BENCH_sim.json")
+    with open(out_file, "w") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    speedup = bench["speedup"]
+    print(
+        f"sim hot path: sync {speedup['sync']:.2f}x, "
+        f"desync {speedup['desync']:.2f}x, "
+        f"combined {speedup['combined']:.2f}x "
+        "(reference/compiled event-loop time, identical captures)"
+    )
+    print(f"wrote {out_file}")
+
+    if args.check:
+        return check_regression(bench, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

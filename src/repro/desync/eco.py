@@ -118,13 +118,13 @@ def _extend_element(
     controller RI pin); the old final stage now feeds the spliced chain.
     """
     from ..liberty.gatefile import build_gatefile
-    from ..netlist.core import driver_of
+    from ..netlist.index import ConnectivityIndex
 
     if cell_info is None:
         cell_info = build_gatefile(chooser.library)
     and_cell, and_pins, and_out = chooser.gate("and2")
     out_net = element.output_net
-    driver_ref = driver_of(module, out_net, cell_info)
+    driver_ref = ConnectivityIndex(module, cell_info).driver_of(out_net)
     if driver_ref is None or driver_ref.instance is None:
         raise ValueError(f"delay element output {out_net!r} has no driver")
     driver_inst, driver_pin = driver_ref.instance, driver_ref.pin

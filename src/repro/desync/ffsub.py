@@ -331,14 +331,15 @@ def _drop_orphan_clock_gates(
     module: Module, gatefile: Gatefile, result: SubstitutionResult
 ) -> None:
     """Remove integrated clock gates whose outputs no longer drive pins."""
-    from ..netlist.core import sinks_of
+    from ..netlist.index import ConnectivityIndex
 
+    index = ConnectivityIndex(module, gatefile)
     for name in list(result.removed_clock_gates):
         inst = module.instances.get(name)
         if inst is None:
             continue
         gck = inst.pins.get("GCK")
-        if gck is not None and sinks_of(module, gck, gatefile):
+        if gck is not None and index.sinks_of(gck):
             result.removed_clock_gates.remove(name)
             continue
         module.remove_instance(name)

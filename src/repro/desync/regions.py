@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..liberty.gatefile import Gatefile
 from ..netlist.core import Module, PortDirection, bus_base
+from ..netlist.index import ConnectivityIndex
 from ..obs import metrics, trace
 
 #: histogram buckets for region sizes (instances per region)
@@ -88,9 +89,15 @@ class _Connectivity:
         module: Module,
         gatefile: Gatefile,
         false_path_nets: Iterable[str] = (),
+        index: Optional[ConnectivityIndex] = None,
     ):
         self.module = module
         self.gatefile = gatefile
+        #: shared driver/sink cache; reusable across passes on the same
+        #: (unmutated) module
+        self.index = index if index is not None else ConnectivityIndex(
+            module, gatefile
+        )
         ignored = set(false_path_nets)
         #: net -> driving instances / reading instances (data pins only)
         self.drivers: Dict[str, List[str]] = {}
@@ -98,17 +105,18 @@ class _Connectivity:
         for net_name, net in module.nets.items():
             if net.is_constant or net_name in ignored:
                 continue
-            for ref in net.connections:
+            driver_refs, sink_refs = self.index.connections_of(net_name)
+            for ref in driver_refs:
+                if ref.instance is not None:
+                    self.drivers.setdefault(net_name, []).append(ref.instance)
+            for ref in sink_refs:
                 if ref.instance is None:
                     continue
                 info = gatefile.info(module.instances[ref.instance].cell)
                 pin = info.pins.get(ref.pin)
                 if pin is None or pin.is_clock:
                     continue
-                if pin.direction == PortDirection.OUTPUT:
-                    self.drivers.setdefault(net_name, []).append(ref.instance)
-                elif pin.direction == PortDirection.INPUT:
-                    self.readers.setdefault(net_name, []).append(ref.instance)
+                self.readers.setdefault(net_name, []).append(ref.instance)
         #: bus base -> all driver instances of any bit
         self.bus_drivers: Dict[str, Set[str]] = {}
         for net_name, drivers in self.drivers.items():

@@ -39,6 +39,7 @@ from .executor import (
 )
 from .graph import FlowGraph, FlowGraphError, Stage
 from .journal import RunJournal, read_journal
+from .pool import default_jobs, parallel_map
 from .report import engine_stats, render_report, write_engine_stats
 from .stages import (
     DESYNC_ARTIFACTS,
@@ -65,9 +66,11 @@ __all__ = [
     "StageRecord",
     "StageStatus",
     "ThreadExecutor",
+    "default_jobs",
     "desync_stages",
     "engine_stats",
     "generation_stage",
+    "parallel_map",
     "library_fingerprint",
     "read_journal",
     "render_report",

@@ -1,0 +1,95 @@
+"""Process-pool fan-out for CPU-bound, order-preserving map work.
+
+The :class:`~repro.engine.executor.FlowEngine` parallelises *stages* on
+a thread pool, which is the right shape for I/O-ish orchestration but
+not for thousands of identical CPU-bound work items (Monte-Carlo chip
+sampling, per-chip simulations): the GIL serialises them.
+:func:`parallel_map` fans such items out over a
+``concurrent.futures.ProcessPoolExecutor`` instead.
+
+Guarantees:
+
+- **order-preserving** -- results come back in item order, so callers
+  that derive per-item determinism from the item itself (e.g. per-chip
+  seeds) get bit-identical output with any worker count, including the
+  serial fallback;
+- **graceful degradation** -- ``jobs <= 1``, tiny workloads, platforms
+  without ``fork``, or a pool failure (unpicklable payloads, broken
+  workers) all fall back to a plain serial loop in the calling process.
+
+``fn`` must be a module-level function (it crosses the process
+boundary by pickle).  Worker exceptions propagate to the caller.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from ..obs import metrics
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: below this many items the pool start-up cost outweighs the fan-out
+_MIN_POOL_ITEMS = 4
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is ``None`` (the CPU count)."""
+    return os.cpu_count() or 1
+
+
+def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items`` on a process pool, preserving order.
+
+    ``jobs=None`` uses every CPU; ``jobs<=1`` runs serially in-process.
+    The serial path and the pool path produce identical result lists.
+    """
+    work = list(items)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(work) < _MIN_POOL_ITEMS:
+        return _serial_map(fn, work)
+    try:
+        # fork keeps start-up cheap and inherits loaded modules; on
+        # platforms without it (Windows) stay serial rather than pay
+        # spawn's re-import cost for every worker
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return _serial_map(fn, work)
+    workers = min(jobs, len(work))
+    if chunksize is None:
+        chunksize = max(1, len(work) // (workers * 4))
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            results = list(pool.map(fn, work, chunksize=chunksize))
+        metrics.counter("engine.pool.items").inc(len(work))
+        metrics.counter("engine.pool.runs").inc()
+        return results
+    except (
+        BrokenProcessPool,
+        pickle.PicklingError,
+        OSError,
+        TypeError,
+        AttributeError,
+    ):
+        # pool could not be created or the payload could not cross the
+        # process boundary: degrade to the serial loop (same results)
+        metrics.counter("engine.pool.fallbacks").inc()
+        return _serial_map(fn, work)

@@ -10,15 +10,42 @@ This module parses such expressions to an AST and compiles them to fast
 evaluators over pin-value dicts.  Values follow 3-valued logic: 0, 1 and
 ``None`` for unknown (X); unknowns propagate unless the known inputs
 already determine the output (e.g. ``0 AND X == 0``).
+
+Three evaluator tiers exist, fastest first:
+
+- **LUT** (``<= LUT_MAX_INPUTS`` inputs): the whole 3-valued truth
+  table is precomputed into one flat tuple indexed by the base-3
+  encoding of the inputs (0, 1, X -> 0, 1, 2); evaluation is a handful
+  of dict lookups plus one table index, generated via ``compile()``.
+- **codegen**: a ``compile()``-generated closure that loads each pin
+  into a positional local once and combines them with short-circuit
+  3-valued logic (``0 AND anything == 0`` without touching the rest).
+- **AST walk** (:func:`evaluate` / :func:`reference_function`): the
+  original recursive interpreter, kept as the reference oracle the
+  compiled tiers are property-tested against.
+
+:func:`compile_function` picks LUT or codegen and memoizes by source
+text, so the thousands of instances sharing a cell function share one
+compiled evaluator.  :func:`compile_function_indexed` builds the same
+two tiers over an *encoded slot list* instead of a dict -- the
+representation the simulator's incremental kernel keeps per cell --
+replacing every dict lookup with a C-level list index.
 """
 
 from __future__ import annotations
 
+import itertools
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple, Union
 
+from ..obs import metrics
+
 Value = Optional[int]
+
+#: functions with at most this many inputs are compiled to a truth table
+LUT_MAX_INPUTS = 8
 
 
 @dataclass(frozen=True)
@@ -209,13 +236,342 @@ def evaluate(expr: Expr, values: Dict[str, Value]) -> Value:
     return acc
 
 
+# ----------------------------------------------------------------------
+# compiled evaluators
+# ----------------------------------------------------------------------
+
+#: base-3 digit of a 3-valued input (None/X encodes as 2)
+_ENCODE = "(2 if {v} is None else {v})"
+
+
+def _load_inputs(names: Tuple[str, ...]) -> List[str]:
+    """Source lines binding each pin value to a positional local once."""
+    lines = ["    _g = values.get"]
+    for index, name in enumerate(names):
+        lines.append(f"    v{index} = _g({name!r})")
+    return lines
+
+
+def _compile_source(
+    source: str, name: str, namespace: Dict[str, object]
+) -> Callable[[Dict[str, Value]], Value]:
+    code = compile(source, f"<liberty:{name}>", "exec")
+    exec(code, namespace)
+    return namespace["_fn"]  # type: ignore[return-value]
+
+
+def _compile_lut(expr: Expr) -> Callable[[Dict[str, Value]], Value]:
+    """Truth-table evaluator: one flat tuple indexed base-3 by inputs.
+
+    The table is filled by the AST oracle over every 3-valued input
+    combination, so the LUT is correct by construction wherever
+    :func:`evaluate` is.
+    """
+    names = tuple(sorted(expr_inputs(expr)))
+    arity = len(names)
+    table: List[Value] = []
+    for combo in itertools.product((0, 1, None), repeat=arity):
+        table.append(evaluate(expr, dict(zip(names, combo))))
+    if arity == 0:
+        constant = table[0]
+        source = "def _fn(values):\n    return _c\n"
+        return _compile_source(source, "const", {"_c": constant})
+    terms = []
+    for index in range(arity):
+        digit = _ENCODE.format(v=f"v{index}")
+        stride = 3 ** (arity - 1 - index)
+        terms.append(digit if stride == 1 else f"{digit} * {stride}")
+    lines = ["def _fn(values):"]
+    lines.extend(_load_inputs(names))
+    lines.append("    return _table[" + " + ".join(terms) + "]")
+    return _compile_source(
+        "\n".join(lines) + "\n", "lut", {"_table": tuple(table)}
+    )
+
+
+class _CodegenEmitter:
+    """Emit statements computing an expression over the ``v<i>`` locals."""
+
+    def __init__(self, names: Tuple[str, ...]):
+        self._index = {name: i for i, name in enumerate(names)}
+        self.lines: List[str] = []
+        self._temp = 0
+
+    def emit(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return str(expr.value)
+        if isinstance(expr, Var):
+            return f"v{self._index[expr.name]}"
+        if isinstance(expr, Not):
+            arg = self.emit(expr.arg)
+            if arg in ("0", "1"):
+                return str(1 - int(arg))
+            return self._assign(f"None if {arg} is None else 1 - {arg}")
+        # literal args fold away; only dynamic terms need unknown checks
+        args = [self.emit(arg) for arg in expr.args]
+        literals = [a for a in args if a in ("0", "1")]
+        dynamic = [a for a in args if a not in ("0", "1")]
+        unknown = " or ".join(f"{a} is None" for a in dynamic)
+        if expr.kind == "and":
+            if "0" in literals:
+                return "0"
+            if not dynamic:
+                return "1"
+            if len(dynamic) == 1:
+                return dynamic[0]
+            controlled = " or ".join(f"{a} == 0" for a in dynamic)
+            body = f"0 if {controlled} else None if {unknown} else 1"
+        elif expr.kind == "or":
+            if "1" in literals:
+                return "1"
+            if not dynamic:
+                return "0"
+            if len(dynamic) == 1:
+                return dynamic[0]
+            controlled = " or ".join(f"{a} == 1" for a in dynamic)
+            body = f"1 if {controlled} else None if {unknown} else 0"
+        else:  # xor: any unknown poisons the result
+            parity = sum(int(a) for a in literals) & 1
+            if not dynamic:
+                return str(parity)
+            terms = " ^ ".join(dynamic + (["1"] if parity else []))
+            body = f"None if {unknown} else {terms}"
+        return self._assign(body)
+
+    def _assign(self, rhs: str) -> str:
+        name = f"t{self._temp}"
+        self._temp += 1
+        self.lines.append(f"    {name} = {rhs}")
+        return name
+
+
+def _compile_codegen(expr: Expr) -> Callable[[Dict[str, Value]], Value]:
+    """Short-circuit 3-valued evaluator generated via ``compile()``.
+
+    Sub-terms land in temporaries bottom-up; each connective
+    short-circuits through Python's ``or`` chains (a 0 on any AND leg
+    decides the node before the unknown checks run).
+    """
+    names = tuple(sorted(expr_inputs(expr)))
+    emitter = _CodegenEmitter(names)
+    result = emitter.emit(expr)
+    lines = ["def _fn(values):"]
+    lines.extend(_load_inputs(names))
+    lines.extend(emitter.lines)
+    lines.append(f"    return {result}")
+    return _compile_source("\n".join(lines) + "\n", "codegen", {})
+
+
+def compile_expr(expr: Expr) -> Callable[[Dict[str, Value]], Value]:
+    """Compile an expression AST to the fastest applicable evaluator."""
+    inputs = expr_inputs(expr)
+    if len(inputs) <= LUT_MAX_INPUTS:
+        fn = _compile_lut(expr)
+        metrics.counter("liberty.fn.compiled_lut").inc()
+        fn.kind = "lut"  # type: ignore[attr-defined]
+    else:
+        fn = _compile_codegen(expr)
+        metrics.counter("liberty.fn.compiled_codegen").inc()
+        fn.kind = "codegen"  # type: ignore[attr-defined]
+    fn.expr = expr  # type: ignore[attr-defined]
+    fn.inputs = inputs  # type: ignore[attr-defined]
+    return fn
+
+
+@lru_cache(maxsize=None)
 def compile_function(text: str) -> Callable[[Dict[str, Value]], Value]:
-    """Parse and return a closure evaluating the function."""
+    """Parse and compile a function to its fastest evaluator.
+
+    Memoized by source text: every instance of a cell (and every
+    simulator over the same library) shares one compiled closure.
+    """
+    return compile_expr(parse_function(text))
+
+
+# ----------------------------------------------------------------------
+# slot-indexed evaluators (the simulator's incremental-kernel tier)
+# ----------------------------------------------------------------------
+#
+# The incremental simulator keeps one persistent *list* per cell
+# instance holding the base-3 encoding of every pin value (0, 1,
+# X -> 0, 1, 2) at a fixed slot per pin.  Indexed evaluators read
+# ``v[slot]`` -- a C-level list index instead of a dict lookup -- and
+# return decoded 0/1/None.  The slot assignment is per *cell type*
+# (sorted pin names), so the compiled closures are still shared by
+# every instance of a cell via the memoization cache.
+
+#: decode table: encoded 0/1/2 -> 0/1/None
+DECODE = (0, 1, None)
+
+
+def encode_value(value: Value) -> int:
+    """Base-3 encoding of a 3-valued signal (None/X encodes as 2)."""
+    return 2 if value is None else value
+
+
+def _load_slots(
+    names: Tuple[str, ...], index: Dict[str, int]
+) -> List[str]:
+    """Source lines binding each used slot to a local once.
+
+    A name without a slot is an unconnected pin: permanently X.
+    """
+    lines = []
+    for i, name in enumerate(names):
+        slot = index.get(name)
+        lines.append(f"    x{i} = v[{slot}]" if slot is not None else f"    x{i} = 2")
+    return lines
+
+
+def _compile_lut_indexed(
+    expr: Expr, slots: Tuple[str, ...]
+) -> Callable[[List[int]], Value]:
+    """Truth-table evaluator over an encoded slot list."""
+    names = tuple(sorted(expr_inputs(expr)))
+    arity = len(names)
+    table: List[Value] = []
+    for combo in itertools.product((0, 1, None), repeat=arity):
+        table.append(evaluate(expr, dict(zip(names, combo))))
+    if arity == 0:
+        fn = _compile_source(
+            "def _fn(v):\n    return _c\n", "lut", {"_c": table[0]}
+        )
+        fn.lut_slots = ()  # type: ignore[attr-defined]
+        fn.table = tuple(table)  # type: ignore[attr-defined]
+        return fn
+    index = {name: i for i, name in enumerate(slots)}
+    terms = []
+    lut_slots = []
+    for pos, name in enumerate(names):
+        stride = 3 ** (arity - 1 - pos)
+        slot = index.get(name)
+        lut_slots.append(slot)
+        term = f"v[{slot}]" if slot is not None else "2"
+        terms.append(term if stride == 1 else f"{term} * {stride}")
+    source = "def _fn(v):\n    return _table[" + " + ".join(terms) + "]\n"
+    fn = _compile_source(source, "lut", {"_table": tuple(table)})
+    #: msb-first slot indices (None for unconnected) + the flat table,
+    #: exposed so the simulator can inline 1-2 input lookups entirely
+    fn.lut_slots = tuple(lut_slots)  # type: ignore[attr-defined]
+    fn.table = tuple(table)  # type: ignore[attr-defined]
+    return fn
+
+
+class _IndexedEmitter:
+    """Emit statements combining encoded ``x<i>`` locals (0/1/2)."""
+
+    _NOT_FOLD = {"0": "1", "1": "0", "2": "2"}
+
+    def __init__(self, names: Tuple[str, ...]):
+        self._index = {name: i for i, name in enumerate(names)}
+        self.lines: List[str] = []
+        self._temp = 0
+
+    def emit(self, expr: Expr) -> str:
+        if isinstance(expr, Const):
+            return str(expr.value)
+        if isinstance(expr, Var):
+            return f"x{self._index[expr.name]}"
+        if isinstance(expr, Not):
+            arg = self.emit(expr.arg)
+            if arg in self._NOT_FOLD:
+                return self._NOT_FOLD[arg]
+            return self._assign(f"2 if {arg} == 2 else {arg} ^ 1")
+        args = [self.emit(arg) for arg in expr.args]
+        literals = [a for a in args if a in ("0", "1", "2")]
+        dynamic = [a for a in args if a not in ("0", "1", "2")]
+        has_x = "2" in literals
+        unknown = " or ".join(f"{a} == 2" for a in dynamic)
+        if expr.kind == "and":
+            if "0" in literals:
+                return "0"
+            if not dynamic:
+                return "2" if has_x else "1"
+            if len(dynamic) == 1 and not has_x:
+                return dynamic[0]
+            controlled = " or ".join(f"{a} == 0" for a in dynamic)
+            tail = "2" if has_x else f"2 if {unknown} else 1"
+            body = f"0 if {controlled} else {tail}"
+        elif expr.kind == "or":
+            if "1" in literals:
+                return "1"
+            if not dynamic:
+                return "2" if has_x else "0"
+            if len(dynamic) == 1 and not has_x:
+                return dynamic[0]
+            controlled = " or ".join(f"{a} == 1" for a in dynamic)
+            tail = "2" if has_x else f"2 if {unknown} else 0"
+            body = f"1 if {controlled} else {tail}"
+        else:  # xor: any unknown poisons the result
+            if has_x:
+                return "2"
+            parity = sum(int(a) for a in literals) & 1
+            if not dynamic:
+                return str(parity)
+            terms = " ^ ".join(dynamic + (["1"] if parity else []))
+            body = f"2 if {unknown} else {terms}"
+        return self._assign(body)
+
+    def _assign(self, rhs: str) -> str:
+        name = f"t{self._temp}"
+        self._temp += 1
+        self.lines.append(f"    {name} = {rhs}")
+        return name
+
+
+def _compile_codegen_indexed(
+    expr: Expr, slots: Tuple[str, ...]
+) -> Callable[[List[int]], Value]:
+    """Short-circuit evaluator over an encoded slot list."""
+    names = tuple(sorted(expr_inputs(expr)))
+    index = {name: i for i, name in enumerate(slots)}
+    emitter = _IndexedEmitter(names)
+    result = emitter.emit(expr)
+    lines = ["def _fn(v):"]
+    lines.extend(_load_slots(names, index))
+    lines.extend(emitter.lines)
+    lines.append(f"    return _d[{result}]")
+    return _compile_source("\n".join(lines) + "\n", "codegen", {"_d": DECODE})
+
+
+@lru_cache(maxsize=None)
+def compile_function_indexed(
+    text: str, slots: Tuple[str, ...]
+) -> Callable[[List[int]], Value]:
+    """Compile a function over an encoded slot list (see module docs).
+
+    ``slots`` assigns each pin name a fixed position in the value list;
+    memoized by (text, slots) so instances of a cell share evaluators.
+    """
+    expr = parse_function(text)
+    inputs = expr_inputs(expr)
+    if len(inputs) <= LUT_MAX_INPUTS:
+        fn = _compile_lut_indexed(expr, slots)
+        metrics.counter("liberty.fn.compiled_lut").inc()
+        fn.kind = "lut"  # type: ignore[attr-defined]
+    else:
+        fn = _compile_codegen_indexed(expr, slots)
+        metrics.counter("liberty.fn.compiled_codegen").inc()
+        fn.kind = "codegen"  # type: ignore[attr-defined]
+    fn.expr = expr  # type: ignore[attr-defined]
+    fn.inputs = inputs  # type: ignore[attr-defined]
+    fn.slots = slots  # type: ignore[attr-defined]
+    return fn
+
+
+@lru_cache(maxsize=None)
+def reference_function(text: str) -> Callable[[Dict[str, Value]], Value]:
+    """The pre-compilation evaluator: a recursive AST walk per call.
+
+    Kept as the reference oracle for the compiled tiers and as the
+    ``kernel="reference"`` baseline of the simulator benchmarks.
+    """
     expr = parse_function(text)
 
     def _eval(values: Dict[str, Value]) -> Value:
         return evaluate(expr, values)
 
+    _eval.kind = "ast"  # type: ignore[attr-defined]
     _eval.expr = expr  # type: ignore[attr-defined]
     _eval.inputs = expr_inputs(expr)  # type: ignore[attr-defined]
     return _eval

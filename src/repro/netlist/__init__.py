@@ -24,9 +24,11 @@ from .verilog import (
 )
 from .blif import save_blif, write_blif
 from .cleanup import clean_logic, resolve_assigns, simplify_names
+from .index import ConnectivityIndex
 
 __all__ = [
     "CellInfoProvider",
+    "ConnectivityIndex",
     "Instance",
     "Module",
     "Net",

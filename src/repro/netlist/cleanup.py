@@ -128,6 +128,9 @@ def simplify_names(module: Module) -> int:
                 PinRef(fresh, c.pin) if c.instance == name else c
                 for c in net.connections
             ]
+        # connections were rewritten directly, bypassing the mutation
+        # hooks: any live ConnectivityIndex must drop its cache
+        module.invalidate_indexes()
         renames += 1
     return renames
 
@@ -184,8 +187,9 @@ def remove_inverter_pairs(
     sink, and neither intermediate nor final net may be a port bit.
     ``cell_info`` provides pin directions for sink counting.
     """
-    from .core import sinks_of
+    from .index import ConnectivityIndex
 
+    index = ConnectivityIndex(module, cell_info)
     port_bits = set(module.port_bits())
     protected = set(protected_nets or ())
     removed = 0
@@ -200,7 +204,7 @@ def remove_inverter_pairs(
             continue
         if mid_net in port_bits or mid_net in protected:
             continue
-        sinks = sinks_of(module, mid_net, cell_info)
+        sinks = index.sinks_of(mid_net)
         if len(sinks) != 1 or sinks[0].instance is None:
             continue
         second = module.instances.get(sinks[0].instance)

@@ -151,6 +151,20 @@ class Module:
         #: free-form module annotations (port order, region map, ...)
         self.attributes: Dict[str, object] = {}
         self._uid = 0
+        #: bumped by every connectivity-changing operation; consumed by
+        #: :class:`repro.netlist.index.ConnectivityIndex` for staleness
+        #: checks.  Code that rewrites ``Net.connections`` directly must
+        #: call :meth:`invalidate_indexes`.
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter of connectivity mutations."""
+        return self._mutations
+
+    def invalidate_indexes(self) -> None:
+        """Mark derived connectivity indexes stale (manual rewrites)."""
+        self._mutations += 1
 
     # ------------------------------------------------------------------
     # construction
@@ -169,6 +183,7 @@ class Module:
         for bit in port.bit_names():
             net = self.ensure_net(bit)
             net.connections.append(PinRef(None, bit))
+        self._mutations += 1
         return port
 
     def ensure_net(self, name: str) -> Net:
@@ -223,6 +238,7 @@ class Module:
         net = self.ensure_net(net_name)
         inst.pins[pin] = net_name
         net.connections.append(PinRef(instance, pin))
+        self._mutations += 1
 
     def disconnect(self, instance: str, pin: str) -> None:
         inst = self.instances[instance]
@@ -233,6 +249,7 @@ class Module:
         if net is not None:
             ref = PinRef(instance, pin)
             net.connections = [c for c in net.connections if c != ref]
+        self._mutations += 1
 
     def remove_instance(self, name: str) -> None:
         inst = self.instances.get(name)
@@ -241,6 +258,7 @@ class Module:
         for pin in list(inst.pins):
             self.disconnect(name, pin)
         del self.instances[name]
+        self._mutations += 1
 
     def remove_net(self, name: str) -> None:
         net = self.nets.get(name)
@@ -249,6 +267,7 @@ class Module:
         if net.connections:
             raise NetlistError(f"net {name!r} still has connections")
         del self.nets[name]
+        self._mutations += 1
 
     def rename_net(self, old: str, new: str) -> None:
         """Rename a net, rewriting every pin binding that references it."""
@@ -262,6 +281,7 @@ class Module:
         for ref in net.connections:
             if ref.instance is not None:
                 self.instances[ref.instance].pins[ref.pin] = new
+        self._mutations += 1
 
     def merge_nets(self, keep: str, remove: str) -> None:
         """Merge net ``remove`` into ``keep`` (alias collapsing)."""
@@ -283,6 +303,7 @@ class Module:
             kept.connections.append(PinRef(ref.instance, ref.pin))
         gone.connections = []
         del self.nets[remove]
+        self._mutations += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -374,6 +395,7 @@ class Module:
         self.assigns = other.assigns
         self.attributes = other.attributes
         self._uid = other._uid
+        self._mutations += 1
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,129 @@
+"""Driver/sink connectivity index with mutation-tracked invalidation.
+
+:func:`repro.netlist.core.driver_of` and :func:`~repro.netlist.core.sinks_of`
+scan a net's connection list and classify every pin on each call.  Passes
+that look up the same nets repeatedly -- clock-root tracing, reactive
+output-region tracing, the grouping pass -- pay that classification cost
+over and over.  :class:`ConnectivityIndex` memoizes the per-net
+classification so repeated lookups are O(1) dict hits.
+
+Consistency is mutation-tracked rather than hooked per-entry: every
+connectivity-changing :class:`~repro.netlist.core.Module` operation
+(``connect``, ``disconnect``, ``remove_instance``, ``merge_nets``,
+``rename_net``, ...) bumps the module's ``mutation_count``; the index
+compares stamps on each query and drops its cache when the module has
+moved on.  Code that rewrites ``Net.connections`` directly (e.g. the
+name-cleaning pass) must call ``Module.invalidate_indexes()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import metrics
+from .core import CellInfoProvider, Module, PinRef, PortDirection, bus_base
+
+
+class ConnectivityIndex:
+    """Per-net driver/sink cache over a :class:`Module`.
+
+    The classification matches :func:`~repro.netlist.core.driver_of` /
+    :func:`~repro.netlist.core.sinks_of` exactly: drivers are output
+    pins and input-port bits, sinks are input pins and output-port
+    bits, both in net connection order; inout pins are neither.
+    """
+
+    __slots__ = ("module", "cell_info", "_stamp", "_nets", "hits", "misses")
+
+    def __init__(self, module: Module, cell_info: CellInfoProvider):
+        self.module = module
+        self.cell_info = cell_info
+        self._stamp = module.mutation_count
+        #: net -> (drivers, sinks), both in connection order
+        self._nets: Dict[str, Tuple[List[PinRef], List[PinRef]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def connections_of(self, net_name: str) -> Tuple[List[PinRef], List[PinRef]]:
+        """``(drivers, sinks)`` of a net; the lists are owned by the index."""
+        stamp = self.module.mutation_count
+        if stamp != self._stamp:
+            if self._nets:
+                self._nets.clear()
+                metrics.counter("netlist.index.invalidations").inc()
+            self._stamp = stamp
+        entry = self._nets.get(net_name)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        metrics.counter("netlist.index.misses").inc()
+        entry = self._classify(net_name)
+        self._nets[net_name] = entry
+        return entry
+
+    def _classify(self, net_name: str) -> Tuple[List[PinRef], List[PinRef]]:
+        from .core import _port_of_bit
+
+        module = self.module
+        net = module.nets.get(net_name)
+        drivers: List[PinRef] = []
+        sinks: List[PinRef] = []
+        if net is None:
+            return drivers, sinks
+        pin_direction = self.cell_info.pin_direction
+        ports = module.ports
+        instances = module.instances
+        for ref in net.connections:
+            if ref.instance is None:
+                port = ports.get(_port_of_bit(ref.pin))
+                if port is None:
+                    continue
+                if port.direction == PortDirection.INPUT:
+                    drivers.append(ref)
+                elif port.direction == PortDirection.OUTPUT:
+                    sinks.append(ref)
+                continue
+            direction = pin_direction(instances[ref.instance].cell, ref.pin)
+            if direction == PortDirection.OUTPUT:
+                drivers.append(ref)
+            elif direction == PortDirection.INPUT:
+                sinks.append(ref)
+        return drivers, sinks
+
+    # ------------------------------------------------------------------
+    def driver_of(self, net_name: str) -> Optional[PinRef]:
+        """First driving pin of ``net_name`` (``driver_of`` semantics)."""
+        drivers, _ = self.connections_of(net_name)
+        return drivers[0] if drivers else None
+
+    def drivers_of(self, net_name: str) -> List[PinRef]:
+        """Every driving pin (multi-driver nets keep all of them)."""
+        drivers, _ = self.connections_of(net_name)
+        return list(drivers)
+
+    def sinks_of(self, net_name: str) -> List[PinRef]:
+        """Every reading pin of ``net_name`` (``sinks_of`` semantics)."""
+        _, sinks = self.connections_of(net_name)
+        return list(sinks)
+
+    def bus_driver_instances(self, base: str) -> List[str]:
+        """Instances driving any bit of bus ``base`` (grouping heuristic)."""
+        out: List[str] = []
+        seen = set()
+        for net_name in self.module.nets:
+            if bus_base(net_name) != base:
+                continue
+            for ref in self.connections_of(net_name)[0]:
+                if ref.instance is not None and ref.instance not in seen:
+                    seen.add(ref.instance)
+                    out.append(ref.instance)
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "cached_nets": len(self._nets),
+        }

@@ -50,13 +50,14 @@ def run_synchronous(
     clock: str = "clk",
     period: Optional[float] = None,
     corner: str = "worst",
+    kernel: str = "compiled",
 ) -> Simulator:
     """Clocked reference run with all registers initialised to zero."""
     from ..sta.analysis import min_clock_period
 
     if period is None:
         period = min_clock_period(module, library, corner) * 1.5 + 0.5
-    simulator = Simulator(module, library, corner)
+    simulator = Simulator(module, library, corner, kernel=kernel)
     initialize_registers(simulator, 0)
     bench = SyncTestbench(simulator, clock=clock, period=period)
     bench.run_cycles(cycles, stimulus)
@@ -70,9 +71,10 @@ def run_desynchronized(
     stimulus: Optional[StimulusFn] = None,
     corner: str = "worst",
     free_run_time: Optional[float] = None,
+    kernel: str = "compiled",
 ) -> Tuple[Simulator, HandshakeTestbench]:
     """Handshake run of a desynchronized design, zero-initialised."""
-    simulator = Simulator(result.module, library, corner)
+    simulator = Simulator(result.module, library, corner, kernel=kernel)
     bench = HandshakeTestbench(
         simulator, result.network.env_ports, result.network.reset_net
     )
@@ -94,6 +96,7 @@ def check_flow_equivalence_reactive(
     respond_factory,
     clock: str = "clk",
     corner: str = "worst",
+    kernel: str = "compiled",
 ) -> FlowEquivalenceReport:
     """Flow-equivalence with a *reactive* environment (e.g. memories).
 
@@ -110,7 +113,7 @@ def check_flow_equivalence_reactive(
     report = FlowEquivalenceReport(cycles=cycles)
 
     period = min_clock_period(sync_module, library, corner) * 1.5 + 0.5
-    sync_sim = Simulator(sync_module, library, corner)
+    sync_sim = Simulator(sync_module, library, corner, kernel=kernel)
     sync_respond = respond_factory(sync_sim)
     output_bits = sync_module.port_bits()
 
@@ -125,7 +128,7 @@ def check_flow_equivalence_reactive(
     bench.run_cycles(cycles, sync_stimulus)
     sync_sequences = sync_sim.capture_sequences()
 
-    desync_sim = Simulator(desync_result.module, library, corner)
+    desync_sim = Simulator(desync_result.module, library, corner, kernel=kernel)
     desync_respond = respond_factory(desync_sim)
     env = ReactiveEnvironment.attach(desync_sim, desync_result, desync_respond)
     env.reset(0)
@@ -145,6 +148,7 @@ def check_flow_equivalence(
     clock: str = "clk",
     corner: str = "worst",
     stimulus_factory=None,
+    kernel: str = "compiled",
 ) -> FlowEquivalenceReport:
     """Compare FF capture sequences against slave-latch capture sequences.
 
@@ -163,14 +167,14 @@ def check_flow_equivalence(
         from ..sta.analysis import min_clock_period
 
         period = min_clock_period(sync_module, library, corner) * 1.5 + 0.5
-        sync_sim = Simulator(sync_module, library, corner)
+        sync_sim = Simulator(sync_module, library, corner, kernel=kernel)
         sync_stimulus = stimulus_factory(sync_sim)
         initialize_registers(sync_sim, 0)
         bench = SyncTestbench(sync_sim, clock=clock, period=period)
         bench.run_cycles(cycles, sync_stimulus)
         sync_sequences = sync_sim.capture_sequences()
 
-        desync_sim = Simulator(desync_result.module, library, corner)
+        desync_sim = Simulator(desync_result.module, library, corner, kernel=kernel)
         desync_stimulus = stimulus_factory(desync_sim)
         hs_bench = HandshakeTestbench(
             desync_sim,
@@ -182,12 +186,14 @@ def check_flow_equivalence(
         desync_sequences = desync_sim.capture_sequences()
     else:
         sync_sim = run_synchronous(
-            sync_module, library, cycles, stimulus, clock=clock, corner=corner
+            sync_module, library, cycles, stimulus, clock=clock,
+            corner=corner, kernel=kernel,
         )
         sync_sequences = sync_sim.capture_sequences()
 
         desync_sim, _bench = run_desynchronized(
-            desync_result, library, cycles, stimulus, corner=corner
+            desync_result, library, cycles, stimulus, corner=corner,
+            kernel=kernel,
         )
         desync_sequences = desync_sim.capture_sequences()
 

@@ -42,16 +42,18 @@ def _port_bit_regions(module: Module, region_map, gatefile) -> Dict[str, str]:
     owning those latches.  We trace backwards through combinational
     cells until a sequential element is reached.
     """
-    from ..netlist.core import driver_of
-    from ..liberty.gatefile import GatefileError
+    from ..netlist.index import ConnectivityIndex
 
     out: Dict[str, str] = {}
+    # the traces from different port bits overlap heavily in the shared
+    # combinational cone, so one index serves every bit
+    index = ConnectivityIndex(module, gatefile)
     for port in module.ports.values():
         if port.direction != PortDirection.OUTPUT:
             continue
         for bit in port.bit_names():
             region = _trace_sequential_region(
-                module, region_map, gatefile, bit
+                module, region_map, gatefile, bit, index=index
             )
             if region is not None:
                 out[bit] = region
@@ -59,7 +61,12 @@ def _port_bit_regions(module: Module, region_map, gatefile) -> Dict[str, str]:
 
 
 def _trace_sequential_region(
-    module: Module, region_map, gatefile, net_name: str, max_cells: int = 500
+    module: Module,
+    region_map,
+    gatefile,
+    net_name: str,
+    max_cells: int = 500,
+    index=None,
 ) -> Optional[str]:
     from ..netlist.core import driver_of
 
@@ -67,7 +74,10 @@ def _trace_sequential_region(
     frontier = [net_name]
     while frontier and len(seen) < max_cells:
         net = frontier.pop()
-        ref = driver_of(module, net, gatefile)
+        if index is not None:
+            ref = index.driver_of(net)
+        else:
+            ref = driver_of(module, net, gatefile)
         if ref is None or ref.instance is None or ref.instance in seen:
             continue
         seen.add(ref.instance)

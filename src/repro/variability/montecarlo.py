@@ -16,10 +16,44 @@ model the same way it is built into silicon:
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs import metrics, trace
+
+
+def _chip_seed(seed: int, index: int) -> int:
+    """Deterministic per-chip RNG seed, independent of chip order.
+
+    Derived by hashing ``(study seed, chip index)`` so chip ``i`` draws
+    the same values no matter how many chips are sampled, in what order,
+    or on which process-pool worker -- the property that makes serial
+    and parallel sampling bit-identical.
+    """
+    digest = hashlib.sha256(f"repro-mc:{seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _sample_chip(
+    args: Tuple["VariabilityModel", int, Optional[Sequence[str]]]
+) -> "ChipSample":
+    """Sample one die from its own seeded RNG (process-pool worker)."""
+    model, chip_seed, instances = args
+    rng = random.Random(chip_seed)
+    inter = model._gauss(rng, 1.0, model.sigma_inter)
+    mismatch = model._gauss(
+        rng, 1.0, model.sigma_intra * model.tracking_residual
+    )
+    chip = ChipSample(inter_die=inter, tracking_mismatch=mismatch)
+    if instances:
+        chip.instance_factors = {
+            name: model._gauss(rng, 1.0, model.sigma_intra)
+            for name in instances
+        }
+    return chip
 
 
 @dataclass
@@ -52,21 +86,23 @@ class VariabilityModel:
         n: int,
         seed: int = 2006,
         instances: Optional[Sequence[str]] = None,
+        jobs: int = 1,
     ) -> List[ChipSample]:
-        rng = random.Random(seed)
-        chips: List[ChipSample] = []
-        for _ in range(n):
-            inter = self._gauss(rng, 1.0, self.sigma_inter)
-            mismatch = self._gauss(
-                rng, 1.0, self.sigma_intra * self.tracking_residual
-            )
-            chip = ChipSample(inter_die=inter, tracking_mismatch=mismatch)
-            if instances:
-                chip.instance_factors = {
-                    name: self._gauss(rng, 1.0, self.sigma_intra)
-                    for name in instances
-                }
-            chips.append(chip)
+        """Sample ``n`` dies.  Each chip draws from its own RNG seeded
+        by :func:`_chip_seed`, so the result is bit-identical whether
+        sampled serially (``jobs=1``) or fanned out over a process pool
+        (``jobs>1`` or ``jobs=None`` for all CPUs).
+        """
+        tasks = [
+            (self, _chip_seed(seed, index), instances) for index in range(n)
+        ]
+        if jobs == 1:
+            chips = [_sample_chip(task) for task in tasks]
+        else:
+            from ..engine.pool import parallel_map
+
+            chips = parallel_map(_sample_chip, tasks, jobs=jobs)
+        metrics.counter("variability.chips_sampled").inc(n)
         return chips
 
     def _gauss(self, rng: random.Random, mu: float, sigma: float) -> float:
@@ -147,12 +183,21 @@ def run_study(
     n_chips: int = 5000,
     margin: float = 0.10,
     seed: int = 2006,
+    jobs: int = 1,
 ) -> VariabilityStudy:
-    """Monte-Carlo comparison of sync worst-case vs desync per-die period."""
-    model = model or VariabilityModel()
-    chips = model.sample_chips(n_chips, seed=seed)
-    sync = synchronous_period(nominal_period, model)
-    desync = [
-        desynchronized_period(nominal_period, chip, margin) for chip in chips
-    ]
+    """Monte-Carlo comparison of sync worst-case vs desync per-die period.
+
+    ``jobs`` fans the chip sampling out over a process pool; any value
+    produces bit-identical results (per-chip seeds, order-preserving
+    map).
+    """
+    with trace.span("variability.run_study", chips=n_chips) as span:
+        model = model or VariabilityModel()
+        chips = model.sample_chips(n_chips, seed=seed, jobs=jobs)
+        sync = synchronous_period(nominal_period, model)
+        desync = [
+            desynchronized_period(nominal_period, chip, margin)
+            for chip in chips
+        ]
+        span.set("sync_period", sync)
     return VariabilityStudy(sync_period=sync, desync_periods=desync)
