@@ -80,33 +80,91 @@ def _chain_module(length: int, and_cell: str) -> Module:
     return module
 
 
+#: characterised ladders per (library fingerprint, corner, length, cell)
+_LADDER_MEMO: Dict[Tuple[str, str, int, str], DelayLadder] = {}
+#: compiled chain graphs per (library fingerprint, length, cell) -- every
+#: corner of one ladder family rescales the same base graph
+_CHAIN_GRAPHS: Dict[Tuple[str, int, str], object] = {}
+
+
+def _ladder_memo_key(
+    library: Library, corner: str, max_length: int, and_cell: str
+) -> Tuple[str, str, int, str]:
+    from ..engine.cache import library_fingerprint
+
+    return (library_fingerprint(library), corner, max_length, and_cell)
+
+
 def characterize_ladder(
     library: Library,
     corner: str = "worst",
     max_length: int = 100,
     and_cell: str = "AND2X1",
+    backend: str = "compiled",
+    memoize: bool = True,
+    cache=None,
 ) -> DelayLadder:
     """Measure the rise delay of every chain length with STA.
 
     Mirrors section 3.1.4: "we implement delay elements of variable
     logic depth, e.g. from 1 to 100 logic levels, and perform STA to
     measure their delay values."
+
+    Results are memoised in-process per (library content, corner,
+    length, cell); pass an :class:`repro.engine.cache.ArtifactCache` as
+    ``cache`` to also persist them across runs.  With the compiled
+    backend every corner of a ladder family shares one base chain graph
+    via derate rescaling.
     """
+    key = _ladder_memo_key(library, corner, max_length, and_cell)
+    if memoize:
+        hit = _LADDER_MEMO.get(key)
+        if hit is not None:
+            metrics.counter("desync.delay.ladder_memo_hits").inc()
+            return DelayLadder(hit.library_name, hit.corner,
+                               list(hit.rise_delays))
+        if cache is not None:
+            stored = cache.get("ladder:" + "|".join(map(str, key)))
+            if stored is not None:
+                ladder = stored["ladder"]
+                _LADDER_MEMO[key] = ladder
+                return DelayLadder(ladder.library_name, ladder.corner,
+                                   list(ladder.rise_delays))
     with trace.span(
         "delays.characterize", corner=corner, max_length=max_length
     ):
         ladder = DelayLadder(library.name, corner)
         # delays are additive per stage under the linear model; measure the
         # longest chain once and read arrivals at every stage output
-        module = _chain_module(max_length, and_cell)
-        graph = build_timing_graph(module, library, corner)
-        report = propagate(graph)
+        if backend == "compiled":
+            from ..sta.compiled import CompiledTimingGraph
+
+            chain_key = (key[0], max_length, and_cell)
+            compiled = _CHAIN_GRAPHS.get(chain_key)
+            if compiled is None:
+                module = _chain_module(max_length, and_cell)
+                compiled = CompiledTimingGraph(
+                    build_timing_graph(module, library, derate=1.0),
+                    library=library,
+                )
+                _CHAIN_GRAPHS[chain_key] = compiled
+            report = compiled.propagate(library.corner(corner).derate)
+        else:
+            module = _chain_module(max_length, and_cell)
+            graph = build_timing_graph(module, library, corner)
+            report = propagate(graph, backend=backend)
         for stage in range(max_length):
             node = (f"u{stage}", "Z")
             arrival = report.arrivals.get(node)
             if arrival is None:
                 raise DelayElementError(f"no arrival at chain stage {stage}")
             ladder.rise_delays.append(arrival)
+    if memoize:
+        _LADDER_MEMO[key] = ladder
+        if cache is not None:
+            cache.put("ladder:" + "|".join(map(str, key)), {"ladder": ladder})
+        return DelayLadder(ladder.library_name, ladder.corner,
+                           list(ladder.rise_delays))
     return ladder
 
 

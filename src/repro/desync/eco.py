@@ -162,12 +162,18 @@ def eco_calibrate(
     corner: str = "worst",
     margin: float = 0.10,
     chooser: Optional[GateChooser] = None,
+    backend: str = "compiled",
 ) -> EcoReport:
     """Re-measure clouds and elements post-layout; extend short elements.
 
     Elements that are too *long* are reported (``trimmed`` would require
     re-routing the output tap; we record the opportunity but only
     lengthen, the conservative ECO).  Returns the change report.
+
+    With the compiled backend the cloud measurement reuses the module's
+    cached flat graph: when the backend annotated parasitics through
+    :func:`repro.sta.annotate_wires`, only the touched fanout cones
+    were re-propagated, not the whole design.
     """
     module = desync_result.module
     chooser = chooser or GateChooser(library)
@@ -177,7 +183,7 @@ def eco_calibrate(
 
     cell_info = build_gatefile(library)
     clouds = region_delays(
-        module, library, desync_result.region_map, corner
+        module, library, desync_result.region_map, corner, backend=backend
     )
     per_level = (
         desync_result.ladder.rise_delays[0]

@@ -74,6 +74,7 @@ def region_delays(
     library: Library,
     region_map: RegionMap,
     corner: str = "worst",
+    backend: str = "compiled",
 ) -> Dict[str, float]:
     """Critical-path delay of each region's cloud, one STA pass.
 
@@ -81,12 +82,23 @@ def region_delays(
     combinationally independent, the worst arrival at a region's
     sequential data inputs equals that region's cloud delay
     (section 3.2.5: "for each circuit region we compute the critical
-    path delay of its combinational logic cloud").
+    path delay of its combinational logic cloud").  The compiled
+    backend reuses the module's cached flat graph (shared with
+    ``analyze`` and the ECO loop) and rescales it to ``corner``.
     """
-    graph = build_timing_graph(module, library, corner)
-    report = propagate(graph)
+    if backend == "compiled":
+        from ..sta.compiled import compiled_graph
+
+        compiled = compiled_graph(module, library)
+        derate = library.corner(corner).derate
+        report = compiled.propagate(derate)
+        capture_items = compiled.capture_items(derate)
+    else:
+        graph = build_timing_graph(module, library, corner)
+        report = propagate(graph, backend=backend)
+        capture_items = list(graph.capture_nodes.items())
     delays: Dict[str, float] = {name: 0.0 for name in region_map.regions}
-    for node, setup in graph.capture_nodes.items():
+    for node, setup in capture_items:
         instance = node[0]
         if instance is None:
             continue

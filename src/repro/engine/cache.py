@@ -142,6 +142,31 @@ def stable_hash(obj: Any) -> str:
     return hasher.hexdigest()
 
 
+_LIB_FP_ATTR = "_engine_fingerprint"
+
+
+def library_fingerprint(library) -> str:
+    """Content fingerprint of a library, memoised on the object.
+
+    Libraries are immutable for the duration of a flow (the controller
+    cell is added before any stage runs), so the fingerprint is
+    computed once per library object and reused by every stage key and
+    by the STA ladder memo.
+    """
+    cached = library.__dict__.get(_LIB_FP_ATTR)
+    if cached is None:
+        cached = stable_hash(
+            {
+                "name": library.name,
+                "wire_cap": library.default_wire_cap,
+                "corners": library.corners,
+                "cells": library.cells,
+            }
+        )
+        library.__dict__[_LIB_FP_ATTR] = cached
+    return cached
+
+
 @dataclasses.dataclass
 class CacheStats:
     """Hit/miss accounting for one :class:`ArtifactCache`."""

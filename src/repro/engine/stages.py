@@ -37,7 +37,7 @@ from ..desync.regions import (
 )
 from ..netlist.cleanup import clean_logic, resolve_assigns, simplify_names
 from ..netlist.core import Module
-from .cache import stable_hash
+from .cache import library_fingerprint, stable_hash
 from .graph import Stage
 
 #: canonical artifact keys of the desynchronization stage chain
@@ -58,30 +58,6 @@ DESYNC_ARTIFACTS = (
     "network",
     "sdc",
 )
-
-_LIB_FP_ATTR = "_engine_fingerprint"
-
-
-def library_fingerprint(library) -> str:
-    """Content fingerprint of a library, memoised on the object.
-
-    Libraries are immutable for the duration of a flow (the controller
-    cell is added before any stage runs), so the fingerprint is
-    computed once per library object and reused by every stage key.
-    """
-    cached = library.__dict__.get(_LIB_FP_ATTR)
-    if cached is None:
-        cached = stable_hash(
-            {
-                "name": library.name,
-                "wire_cap": library.default_wire_cap,
-                "corners": library.corners,
-                "cells": library.cells,
-            }
-        )
-        library.__dict__[_LIB_FP_ATTR] = cached
-    return cached
-
 
 def generation_stage(
     name: str,

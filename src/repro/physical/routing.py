@@ -51,8 +51,13 @@ def route(module: Module, placement: Placement) -> RoutingResult:
         result.net_lengths[net_name] = length
         result.net_caps[net_name] = cap
         result.net_delays[net_name] = delay
-    module.attributes["net_wire_cap"] = dict(result.net_caps)
-    module.attributes["net_wire_delay"] = dict(result.net_delays)
+    from ..sta.compiled import annotate_wires
+
+    # annotate through the STA entry point: cached compiled timing
+    # graphs of the module re-time only the touched fanout cones
+    annotate_wires(
+        module, result.net_caps, result.net_delays, replace=True
+    )
     return result
 
 

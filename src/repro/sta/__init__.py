@@ -1,4 +1,10 @@
-"""Static timing analysis: timing graph, propagation, SDC constraints."""
+"""Static timing analysis: timing graph, propagation, SDC constraints.
+
+Propagation runs on one of two backends: ``"compiled"`` (default) flat
+integer-id arrays with corner rescaling, incremental ECO re-timing and
+per-module caching (:mod:`repro.sta.compiled`), or ``"reference"``, the
+original dict-based walk kept as a bit-identical parity oracle.
+"""
 
 from .graph import (
     Disable,
@@ -7,16 +13,26 @@ from .graph import (
     TimingGraph,
     build_timing_graph,
     compute_net_loads,
+    node_sort_key,
 )
 from .analysis import (
+    BACKENDS,
     PathPoint,
     StaReport,
     TimingLoopError,
     analyze,
+    analyze_corners,
     min_clock_period,
     path_to_text,
     propagate,
     region_critical_path,
+)
+from .compiled import (
+    CompiledTimingGraph,
+    annotate_wires,
+    compiled_graph,
+    compiled_of,
+    invalidate_module,
 )
 from .ssta import (
     MatchingRow,
@@ -24,6 +40,7 @@ from .ssta import (
     StatArrival,
     delay_element_matching,
     ssta_analyze,
+    ssta_corners,
     ssta_propagate,
     statistical_max,
 )
@@ -37,12 +54,20 @@ from .sdc import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "CompiledTimingGraph",
     "CreateClock",
     "MatchingRow",
     "SstaReport",
     "StatArrival",
+    "annotate_wires",
+    "compiled_graph",
+    "compiled_of",
     "delay_element_matching",
+    "invalidate_module",
+    "node_sort_key",
     "ssta_analyze",
+    "ssta_corners",
     "ssta_propagate",
     "statistical_max",
     "Disable",
@@ -58,6 +83,7 @@ __all__ = [
     "TimingGraph",
     "TimingLoopError",
     "analyze",
+    "analyze_corners",
     "build_timing_graph",
     "compute_net_loads",
     "min_clock_period",

@@ -16,7 +16,18 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..liberty.model import Library
 from ..netlist.core import Module
 from ..obs import metrics, trace
-from .graph import Disable, Node, TimingGraph, build_timing_graph
+from .graph import Disable, Node, TimingGraph, build_timing_graph, node_sort_key
+
+#: propagation backends: "compiled" (flat-array engine, corner-rescaled,
+#: cached) and "reference" (the original dict walk, kept as the oracle)
+BACKENDS = ("compiled", "reference")
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown STA backend {backend!r}; expected one of {BACKENDS}"
+        )
 
 
 @dataclass
@@ -76,10 +87,23 @@ def propagate(
     graph: TimingGraph,
     input_arrival: float = 0.0,
     clock_period: Optional[float] = None,
+    backend: str = "compiled",
 ) -> StaReport:
-    """Run max-delay propagation and backtrace the critical path."""
+    """Run max-delay propagation and backtrace the critical path.
+
+    Both backends produce bit-identical reports; ``"reference"`` is the
+    oracle the compiled engine is checked against.
+    """
+    _check_backend(backend)
     with trace.span("sta.propagate") as span:
-        report = _propagate(graph, input_arrival, clock_period)
+        if backend == "compiled":
+            from .compiled import compiled_of
+
+            report = compiled_of(graph).propagate(
+                1.0, input_arrival, clock_period
+            )
+        else:
+            report = _propagate(graph, input_arrival, clock_period)
         span.set("nodes", len(report.arrivals))
         span.set("critical_delay", round(report.critical_delay, 6))
     metrics.counter("sta.propagations").inc()
@@ -113,7 +137,9 @@ def _propagate(
     worst_delay = 0.0
     endpoint_slacks: Dict[Node, float] = {}
     endpoints: Set[Node] = set(graph.capture_nodes) | graph.output_nodes
-    for node in endpoints:
+    # deterministic order: ties on the worst endpoint must not depend on
+    # hash randomisation, and both backends must break them identically
+    for node in sorted(endpoints, key=node_sort_key):
         arrival = arrivals.get(node)
         if arrival is None:
             continue
@@ -148,11 +174,72 @@ def analyze(
     corner: str = "worst",
     clock_period: Optional[float] = None,
     disables: Optional[Iterable[Disable]] = None,
+    backend: str = "compiled",
 ) -> StaReport:
-    """One-call STA: build the graph for a corner and propagate."""
+    """One-call STA: build the graph for a corner and propagate.
+
+    With the compiled backend the graph is flattened once per module
+    mutation stamp and every corner is derived by derate rescaling, so
+    multi-corner analysis pays a single build.
+    """
+    _check_backend(backend)
     with trace.span("sta.analyze", module=module.name, corner=corner):
+        if backend == "compiled":
+            from .compiled import compiled_graph
+
+            compiled = compiled_graph(module, library, disables=disables)
+            report = compiled.propagate(
+                library.corner(corner).derate, clock_period=clock_period
+            )
+            metrics.counter("sta.propagations").inc()
+            return report
         graph = build_timing_graph(module, library, corner, disables)
-        return propagate(graph, clock_period=clock_period)
+        return propagate(graph, clock_period=clock_period, backend=backend)
+
+
+def _analyze_corner_task(args) -> Tuple[str, StaReport]:
+    module, library, corner, clock_period, disables, backend = args
+    return corner, analyze(
+        module, library, corner, clock_period, disables, backend=backend
+    )
+
+
+def analyze_corners(
+    module: Module,
+    library: Library,
+    corners: Optional[Iterable[str]] = None,
+    clock_period: Optional[float] = None,
+    disables: Optional[Iterable[Disable]] = None,
+    backend: str = "compiled",
+    jobs: Optional[int] = None,
+) -> Dict[str, StaReport]:
+    """STA at every corner (default: all of the library's).
+
+    ``jobs`` > 1 fans the corners out over
+    :func:`repro.engine.pool.parallel_map`; the serial fallback is
+    bit-identical, so results never depend on the worker count.
+    """
+    _check_backend(backend)
+    names = list(corners) if corners is not None else sorted(library.corners)
+    if jobs is not None and jobs > 1 and len(names) > 1:
+        from ..engine.pool import parallel_map
+
+        disables_t = tuple(disables) if disables is not None else None
+        pairs = parallel_map(
+            _analyze_corner_task,
+            [
+                (module, library, name, clock_period, disables_t, backend)
+                for name in names
+            ],
+            jobs=jobs,
+        )
+        return dict(pairs)
+    return {
+        name: analyze(
+            module, library, name, clock_period, disables, backend=backend
+        )
+        for name in names
+    }
 
 
 def min_clock_period(
@@ -161,9 +248,11 @@ def min_clock_period(
     corner: str = "worst",
     disables: Optional[Iterable[Disable]] = None,
     margin: float = 0.0,
+    backend: str = "compiled",
 ) -> float:
     """Smallest period meeting setup on every register-to-register path."""
-    report = analyze(module, library, corner, disables=disables)
+    report = analyze(module, library, corner, disables=disables,
+                     backend=backend)
     return report.critical_delay + margin
 
 
@@ -172,18 +261,32 @@ def region_critical_path(
     library: Library,
     instances: Set[str],
     corner: str = "worst",
+    backend: str = "compiled",
 ) -> float:
     """Critical-path delay of one region's combinational cloud.
 
     The launch points are the region's sequential outputs and ports, the
     capture points its sequential data inputs: precisely the delay a
-    matched delay element must cover (section 2.4.4).
+    matched delay element must cover (section 2.4.4).  Compiled-backend
+    region views are cached per instance set, and the net-load pass they
+    share is cached per module -- querying every region of a design no
+    longer re-walks the whole module per region.
     """
+    _check_backend(backend)
     with trace.span("sta.region_critical_path", instances=len(instances)):
+        if backend == "compiled":
+            from .compiled import compiled_graph
+
+            compiled = compiled_graph(
+                module, library, instance_filter=frozenset(instances)
+            )
+            report = compiled.propagate(library.corner(corner).derate)
+            metrics.counter("sta.propagations").inc()
+            return report.critical_delay
         graph = build_timing_graph(
             module, library, corner, instance_filter=instances
         )
-        return propagate(graph).critical_delay
+        return propagate(graph, backend=backend).critical_delay
 
 
 def path_to_text(report: StaReport) -> str:

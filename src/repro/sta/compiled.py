@@ -1,0 +1,721 @@
+"""Compiled STA engine: flat timing graphs with corner rescaling.
+
+:class:`CompiledTimingGraph` flattens a dict-of-dataclass
+:class:`~repro.sta.graph.TimingGraph` into integer-interned nodes and
+CSR-style edge arrays with a cached topological order, then answers
+every propagation question from those arrays:
+
+- **corner rescaling** -- corner derates are scalar factors on every
+  arc/wire delay, so the graph compiles *base* delays (``derate=1.0``)
+  once and derives any corner by scaling.  Multi-corner ``analyze``,
+  SSTA and ladder characterisation stop rebuilding the graph per
+  corner.  Scaling and propagation apply the exact float operations of
+  the reference path (scale each delay, then add), so results are
+  bit-identical, not merely close.
+- **incremental re-timing** -- when the backend or ECO annotates wire
+  caps/delays on a set of nets, :meth:`refresh_wires` recomputes only
+  the affected edge delays (per-edge ``net``/``arc`` metadata recorded
+  at build) and re-relaxes arrivals over the affected fanout cone of
+  every cached propagation state, instead of rebuilding the graph.
+- **propagation-state memoisation** -- arrival/parent vectors are kept
+  per ``(derate, input_arrival)``, so repeat analyses of an unchanged
+  module (ECO measurement loops, per-region queries) cost one report
+  construction, not a relaxation.
+
+The graphs are cached per module in a :class:`weakref` map keyed by
+(library identity, disables, instance filter, view) and invalidated by
+the module mutation stamp -- the :class:`repro.netlist.index.
+ConnectivityIndex` pattern -- plus a fingerprint of the wire-annotation
+dicts, which mutate without bumping the stamp.
+
+The dict-based path in :mod:`repro.sta.analysis` survives untouched as
+the reference oracle; parity is enforced by tests and by the
+``bench_sta_engine`` workload, which asserts identical critical delays,
+critical paths and region-delay maps between backends.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..liberty.model import Library
+from ..netlist.core import Module
+from ..obs import metrics
+from .graph import (
+    Disable,
+    Node,
+    TimingGraph,
+    build_timing_graph,
+    compute_net_pin_load,
+    node_sort_key,
+    wire_attr_fingerprint,
+)
+
+_NEG_INF = float("-inf")
+
+#: per-module cap on distinct cached (disables, filter, view) variants
+_MAX_VARIANTS = 32
+
+
+class _PropState:
+    """Arrival/parent vectors of one (derate, input_arrival) relaxation."""
+
+    __slots__ = ("arr", "parent")
+
+    def __init__(self, arr: List[float], parent: List[int]):
+        self.arr = arr
+        self.parent = parent
+
+
+class CompiledTimingGraph:
+    """A timing graph flattened to integer-id arrays.
+
+    Node ids follow :meth:`TimingGraph.nodes` order and edges follow
+    adjacency order, so every relaxation visits values in exactly the
+    reference sequence -- the basis of bit-identical parity.
+    """
+
+    def __init__(
+        self,
+        graph: TimingGraph,
+        module: Optional[Module] = None,
+        library: Optional[Library] = None,
+    ):
+        self.module = module if module is not None else graph.module
+        self.library = library
+        self.build_derate = graph.derate
+        self.broken_edge_count = len(graph.broken_edges)
+
+        nodes = graph.nodes()
+        self.nodes: List[Node] = nodes
+        node_id: Dict[Node, int] = {
+            node: index for index, node in enumerate(nodes)
+        }
+        self.node_id = node_id
+        n = len(nodes)
+
+        # ---- CSR forward edges, in adjacency order -------------------
+        adj_start = [0] * (n + 1)
+        adj_dst: List[int] = []
+        delays: List[float] = []
+        edge_nets: List[Optional[str]] = []
+        edge_arcs: List[Optional[object]] = []
+        for nid, node in enumerate(nodes):
+            for edge in graph.adjacency.get(node, ()):
+                adj_dst.append(node_id[edge.dst])
+                delays.append(edge.delay)
+                edge_nets.append(edge.net)
+                edge_arcs.append(edge.arc)
+            adj_start[nid + 1] = len(adj_dst)
+        self._adj_start = adj_start
+        self._adj_dst = adj_dst
+        self._delay = delays
+        self._edge_arc = edge_arcs
+
+        # ---- net -> edge-id maps for incremental wire updates --------
+        arc_edges: Dict[str, List[int]] = {}
+        net_edges: Dict[str, List[int]] = {}
+        for ei, net in enumerate(edge_nets):
+            if net is None:
+                continue
+            if edge_arcs[ei] is not None:
+                arc_edges.setdefault(net, []).append(ei)
+            else:
+                net_edges.setdefault(net, []).append(ei)
+        self._arc_edges_by_net = arc_edges
+        self._net_edges_by_net = net_edges
+
+        # ---- launch / capture / port nodes ---------------------------
+        self._launch_items: List[Tuple[int, float]] = [
+            (node_id[node], delay)
+            for node, delay in graph.launch_nodes.items()
+        ]
+        self._launch_base: Dict[int, float] = dict(self._launch_items)
+        self._launch_arcs: Dict[int, List[Tuple[object, str]]] = {
+            node_id[node]: list(arcs)
+            for node, arcs in graph.launch_arcs.items()
+        }
+        launch_by_net: Dict[str, List[int]] = {}
+        for nid, arcs in self._launch_arcs.items():
+            for _arc, net in arcs:
+                launch_by_net.setdefault(net, []).append(nid)
+        self._launch_by_net = launch_by_net
+
+        self._capture_items: List[Tuple[int, float]] = [
+            (node_id[node], setup)
+            for node, setup in graph.capture_nodes.items()
+        ]
+        self._input_ids: List[int] = sorted(
+            node_id[node] for node in graph.input_nodes
+        )
+        self._input_id_set = frozenset(self._input_ids)
+
+        # endpoints in deterministic node order, with their base setups
+        setup_of = dict(self._capture_items)
+        endpoint_nodes = set(graph.capture_nodes) | graph.output_nodes
+        self._endpoints: List[Tuple[int, float]] = [
+            (node_id[node], setup_of.get(node_id[node], 0.0))
+            for node in sorted(endpoint_nodes, key=node_sort_key)
+        ]
+
+        # ---- topological order (Kahn, reference tie-breaking) --------
+        from collections import deque
+
+        from .analysis import TimingLoopError
+
+        indegree = [0] * n
+        for dst in adj_dst:
+            indegree[dst] += 1
+        queue = deque(nid for nid in range(n) if indegree[nid] == 0)
+        topo: List[int] = []
+        while queue:
+            nid = queue.popleft()
+            topo.append(nid)
+            for ei in range(adj_start[nid], adj_start[nid + 1]):
+                dst = adj_dst[ei]
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    queue.append(dst)
+        if len(topo) != n:
+            raise TimingLoopError(
+                f"timing graph has {n - len(topo)} nodes in cycles"
+            )
+        self._topo = topo
+        topo_pos = [0] * n
+        for pos, nid in enumerate(topo):
+            topo_pos[nid] = pos
+        self._topo_pos = topo_pos
+
+        # reverse in-edges per node, sorted by forward encounter order
+        # (source topo position, then edge id) so recompute-by-in-edges
+        # resolves ties exactly like forward relaxation
+        rin: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for src in range(n):
+            for ei in range(adj_start[src], adj_start[src + 1]):
+                rin[adj_dst[ei]].append((src, ei))
+        for entries in rin:
+            entries.sort(key=lambda se: (topo_pos[se[0]], se[1]))
+        self._rin = rin
+
+        # ---- wire-annotation snapshots for diffing -------------------
+        attrs = self.module.attributes
+        self._wire_caps: Dict[str, float] = dict(
+            attrs.get("net_wire_cap", {})
+        )
+        self._wire_delays: Dict[str, float] = dict(
+            attrs.get("net_wire_delay", {})
+        )
+
+        # ---- memoised per-corner products ----------------------------
+        self._scaled: Dict[float, List[float]] = {}
+        self._states: Dict[Tuple[float, float], _PropState] = {}
+        self._reports: Dict[Tuple[float, float, Optional[float]], Any] = {}
+        self._ssta_reports: Dict[Tuple[float, float, float], Any] = {}
+        metrics.counter("sta.compiled.builds").inc()
+
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._adj_dst)
+
+    def capture_items(self, derate: float) -> List[Tuple[Node, float]]:
+        """``(node, setup)`` pairs at a corner, in build order."""
+        nodes = self.nodes
+        return [
+            (nodes[nid], setup * derate)
+            for nid, setup in self._capture_items
+        ]
+
+    def _scaled_delays(self, derate: float) -> List[float]:
+        if derate == 1.0:
+            return self._delay
+        scaled = self._scaled.get(derate)
+        if scaled is None:
+            scaled = [delay * derate for delay in self._delay]
+            self._scaled[derate] = scaled
+        return scaled
+
+    # ------------------------------------------------------------------
+    # max-delay propagation
+    # ------------------------------------------------------------------
+    def _relax_full(self, derate: float, input_arrival: float) -> _PropState:
+        n = len(self.nodes)
+        arr = [_NEG_INF] * n
+        parent = [-1] * n
+        for nid, base in self._launch_items:
+            value = base * derate
+            if value > arr[nid]:
+                arr[nid] = value
+        for nid in self._input_ids:
+            if input_arrival > arr[nid]:
+                arr[nid] = input_arrival
+        scaled = self._scaled_delays(derate)
+        adj_start = self._adj_start
+        adj_dst = self._adj_dst
+        for nid in self._topo:
+            arrival = arr[nid]
+            if arrival == _NEG_INF:
+                continue
+            for ei in range(adj_start[nid], adj_start[nid + 1]):
+                candidate = arrival + scaled[ei]
+                dst = adj_dst[ei]
+                if candidate > arr[dst]:
+                    arr[dst] = candidate
+                    parent[dst] = nid
+        return _PropState(arr, parent)
+
+    def _state(self, derate: float, input_arrival: float) -> _PropState:
+        key = (derate, input_arrival)
+        state = self._states.get(key)
+        if state is None:
+            state = self._relax_full(derate, input_arrival)
+            self._states[key] = state
+        return state
+
+    def propagate(
+        self,
+        derate: float = 1.0,
+        input_arrival: float = 0.0,
+        clock_period: Optional[float] = None,
+    ):
+        """Max-delay propagation at a corner derate.
+
+        Returns a :class:`repro.sta.analysis.StaReport` identical to the
+        reference backend's.  Reports are memoised per query and shared
+        between callers -- treat them as read-only.
+        """
+        from .analysis import PathPoint, StaReport
+
+        report_key = (derate, input_arrival, clock_period)
+        report = self._reports.get(report_key)
+        if report is not None:
+            metrics.counter("sta.compiled.report_hits").inc()
+            return report
+        state = self._state(derate, input_arrival)
+        arr = state.arr
+        parent = state.parent
+        nodes = self.nodes
+
+        arrivals = {
+            nodes[nid]: arrival
+            for nid, arrival in enumerate(arr)
+            if arrival != _NEG_INF
+        }
+        worst_id = -1
+        worst_delay = 0.0
+        endpoint_slacks: Dict[Node, float] = {}
+        for nid, base_setup in self._endpoints:
+            arrival = arr[nid]
+            if arrival == _NEG_INF:
+                continue
+            total = arrival + base_setup * derate
+            if total > worst_delay:
+                worst_delay = total
+                worst_id = nid
+            if clock_period is not None:
+                endpoint_slacks[nodes[nid]] = clock_period - total
+
+        path: List[PathPoint] = []
+        nid = worst_id
+        while nid >= 0:
+            path.append(PathPoint(nodes[nid], arr[nid]))
+            nid = parent[nid]
+        path.reverse()
+
+        report = StaReport(
+            arrivals=arrivals,
+            critical_endpoint=nodes[worst_id] if worst_id >= 0 else None,
+            critical_delay=worst_delay,
+            path=path,
+            endpoint_slacks=endpoint_slacks,
+            broken_edge_count=self.broken_edge_count,
+        )
+        self._reports[report_key] = report
+        metrics.counter("sta.compiled.propagations").inc()
+        return report
+
+    # ------------------------------------------------------------------
+    # statistical propagation
+    # ------------------------------------------------------------------
+    def ssta(
+        self,
+        derate: float = 1.0,
+        sigma_global: float = 0.08,
+        sigma_local: float = 0.04,
+    ):
+        """First-order canonical SSTA over the flat arrays.
+
+        Bit-identical to :func:`repro.sta.ssta.ssta_propagate` on the
+        equivalent graph: same seed order, same relaxation order, same
+        Clark-max call sequence.
+        """
+        from .ssta import SstaReport, StatArrival, statistical_max
+
+        key = (derate, sigma_global, sigma_local)
+        report = self._ssta_reports.get(key)
+        if report is not None:
+            metrics.counter("sta.compiled.report_hits").inc()
+            return report
+
+        n = len(self.nodes)
+        arr: List[Optional[StatArrival]] = [None] * n
+        for nid, base in self._launch_items:
+            value = base * derate
+            arr[nid] = StatArrival(
+                value, value * sigma_global, (value * sigma_local) ** 2
+            )
+        for nid in self._input_ids:
+            if arr[nid] is None:
+                arr[nid] = StatArrival()
+        scaled = self._scaled_delays(derate)
+        adj_start = self._adj_start
+        adj_dst = self._adj_dst
+        for nid in self._topo:
+            arrival = arr[nid]
+            if arrival is None:
+                continue
+            for ei in range(adj_start[nid], adj_start[nid + 1]):
+                candidate = arrival.plus(
+                    scaled[ei], sigma_global, sigma_local
+                )
+                dst = adj_dst[ei]
+                existing = arr[dst]
+                arr[dst] = (
+                    candidate
+                    if existing is None
+                    else statistical_max(existing, candidate)
+                )
+
+        report = SstaReport()
+        nodes = self.nodes
+        for nid, base_setup in self._endpoints:
+            arrival = arr[nid]
+            if arrival is None:
+                continue
+            total = StatArrival(
+                arrival.mean + base_setup * derate,
+                arrival.global_sens,
+                arrival.local_var,
+            )
+            if total.mean > report.worst.mean:
+                report.worst = total
+                report.worst_endpoint = nodes[nid]
+        report.arrivals = {
+            nodes[nid]: arrival
+            for nid, arrival in enumerate(arr)
+            if arrival is not None
+        }
+        self._ssta_reports[key] = report
+        metrics.counter("sta.compiled.ssta_propagations").inc()
+        return report
+
+    # ------------------------------------------------------------------
+    # incremental re-timing
+    # ------------------------------------------------------------------
+    def refresh_wires(self) -> int:
+        """Diff the module's wire annotations against the build snapshot
+        and re-time only the affected fanout cones.
+
+        Returns the number of edges whose delay changed.  Requires the
+        module structure to be unchanged since the build (the module
+        cache checks the mutation stamp before calling this).
+        """
+        if self.library is None:
+            raise ValueError(
+                "refresh_wires needs the library the graph was built with"
+            )
+        attrs = self.module.attributes
+        new_caps: Dict[str, float] = attrs.get("net_wire_cap", {})
+        new_delays: Dict[str, float] = attrs.get("net_wire_delay", {})
+        default_cap = self.library.default_wire_cap
+
+        changed_cap_nets = [
+            net
+            for net in set(self._wire_caps) | set(new_caps)
+            if self._wire_caps.get(net, default_cap)
+            != new_caps.get(net, default_cap)
+        ]
+        changed_delay_nets = [
+            net
+            for net in set(self._wire_delays) | set(new_delays)
+            if self._wire_delays.get(net, 0.0) != new_delays.get(net, 0.0)
+        ]
+
+        delays = self._delay
+        build_derate = self.build_derate
+        dirty_nodes: set = set()
+        changed_edges = 0
+
+        for net in changed_cap_nets:
+            touched = net in self._arc_edges_by_net or net in self._launch_by_net
+            if not touched:
+                continue
+            load = compute_net_pin_load(
+                self.module,
+                self.library,
+                net,
+                new_caps.get(net, default_cap),
+            )
+            for ei in self._arc_edges_by_net.get(net, ()):
+                base = self._edge_arc[ei].worst_delay(load) * build_derate
+                if base != delays[ei]:
+                    delays[ei] = base
+                    dirty_nodes.add(self._adj_dst[ei])
+                    changed_edges += 1
+            for nid in self._launch_by_net.get(net, ()):
+                # the builder maxes against a 0.0 default -- reproduce it
+                base = 0.0
+                for arc, arc_net in self._launch_arcs[nid]:
+                    arc_load = (
+                        load
+                        if arc_net == net
+                        else compute_net_pin_load(
+                            self.module,
+                            self.library,
+                            arc_net,
+                            new_caps.get(arc_net, default_cap),
+                        )
+                    )
+                    value = arc.worst_delay(arc_load) * build_derate
+                    if value > base:
+                        base = value
+                if base != self._launch_base[nid]:
+                    self._launch_base[nid] = base
+                    dirty_nodes.add(nid)
+
+        for net in changed_delay_nets:
+            new_base = new_delays.get(net, 0.0) * build_derate
+            for ei in self._net_edges_by_net.get(net, ()):
+                if delays[ei] != new_base:
+                    delays[ei] = new_base
+                    dirty_nodes.add(self._adj_dst[ei])
+                    changed_edges += 1
+
+        self._wire_caps = dict(new_caps)
+        self._wire_delays = dict(new_delays)
+        if not dirty_nodes and not changed_edges:
+            return 0
+
+        # refresh per-corner scaled copies of the changed entries
+        for derate, scaled in self._scaled.items():
+            for net in changed_cap_nets:
+                for ei in self._arc_edges_by_net.get(net, ()):
+                    scaled[ei] = delays[ei] * derate
+            for net in changed_delay_nets:
+                for ei in self._net_edges_by_net.get(net, ()):
+                    scaled[ei] = delays[ei] * derate
+
+        self._launch_items = [
+            (nid, self._launch_base[nid]) for nid, _ in self._launch_items
+        ]
+        for key, state in self._states.items():
+            self._update_state(key, state, dirty_nodes)
+        self._reports.clear()
+        # Clark-max recomputation is not locally invertible; statistical
+        # reports are recomputed lazily from the updated delays instead
+        self._ssta_reports.clear()
+        metrics.counter("sta.compiled.incremental_updates").inc()
+        metrics.counter("sta.compiled.incremental_edges").inc(
+            changed_edges
+        )
+        return changed_edges
+
+    def _update_state(
+        self,
+        key: Tuple[float, float],
+        state: _PropState,
+        dirty_init: Iterable[int],
+    ) -> None:
+        """Re-relax one cached state over the dirty fanout cone."""
+        derate, input_arrival = key
+        scaled = self._scaled_delays(derate)
+        arr = state.arr
+        parent = state.parent
+        adj_start = self._adj_start
+        adj_dst = self._adj_dst
+        topo = self._topo
+        topo_pos = self._topo_pos
+        launch_base = self._launch_base
+        input_ids = self._input_id_set
+        rin = self._rin
+
+        dirty = set(dirty_init)
+        start = min(topo_pos[nid] for nid in dirty)
+        for pos in range(start, len(topo)):
+            nid = topo[pos]
+            if nid not in dirty:
+                continue
+            value = _NEG_INF
+            par = -1
+            base = launch_base.get(nid)
+            if base is not None:
+                seeded = base * derate
+                if seeded > value:
+                    value = seeded
+            if nid in input_ids and input_arrival > value:
+                value = input_arrival
+            for src, ei in rin[nid]:
+                src_arrival = arr[src]
+                if src_arrival == _NEG_INF:
+                    continue
+                candidate = src_arrival + scaled[ei]
+                if candidate > value:
+                    value = candidate
+                    par = src
+            if value != arr[nid]:
+                arr[nid] = value
+                parent[nid] = par
+                for ei in range(adj_start[nid], adj_start[nid + 1]):
+                    dirty.add(adj_dst[ei])
+            elif par != parent[nid]:
+                parent[nid] = par
+
+
+def compiled_of(graph: TimingGraph) -> CompiledTimingGraph:
+    """Flatten ``graph`` once and memoise the result on the instance.
+
+    For callers that hold a :class:`TimingGraph` directly (rather than
+    going through :func:`compiled_graph`): repeat propagations of the
+    same graph object share one flattening.  The memo assumes the graph
+    is not mutated after the first propagation -- the builder never
+    mutates a returned graph.
+    """
+    compiled = getattr(graph, "_compiled", None)
+    if compiled is None:
+        compiled = CompiledTimingGraph(graph)
+        graph._compiled = compiled
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# per-module compiled-graph cache
+# ----------------------------------------------------------------------
+
+class _CacheEntry:
+    __slots__ = ("graph", "library", "fingerprint")
+
+    def __init__(self, graph: CompiledTimingGraph, library: Library,
+                 fingerprint: Tuple):
+        self.graph = graph
+        self.library = library
+        self.fingerprint = fingerprint
+
+
+_MODULE_CACHE: "weakref.WeakKeyDictionary[Module, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _module_fingerprint(module: Module) -> Tuple:
+    return (
+        module.mutation_count,
+        wire_attr_fingerprint(module, "net_wire_cap"),
+        wire_attr_fingerprint(module, "net_wire_delay"),
+    )
+
+
+def _variant_key(
+    library: Library,
+    disables: Optional[Iterable[Disable]],
+    instance_filter,
+    through_sequential: bool,
+) -> Tuple:
+    return (
+        id(library),
+        frozenset(disables or ()),
+        frozenset(instance_filter) if instance_filter is not None else None,
+        bool(through_sequential),
+    )
+
+
+def compiled_graph(
+    module: Module,
+    library: Library,
+    disables: Optional[Iterable[Disable]] = None,
+    instance_filter=None,
+    through_sequential: bool = False,
+) -> CompiledTimingGraph:
+    """The cached compiled graph of a module view (built at derate 1.0).
+
+    Rebuilt only when the module's mutation stamp or wire-annotation
+    fingerprint moves; every corner of every analysis shares the one
+    build.  Distinct disables/filter/view combinations cache as
+    separate variants (bounded per module).
+    """
+    variants = _MODULE_CACHE.get(module)
+    if variants is None:
+        variants = {}
+        _MODULE_CACHE[module] = variants
+    key = _variant_key(library, disables, instance_filter, through_sequential)
+    fingerprint = _module_fingerprint(module)
+    entry = variants.get(key)
+    if (
+        entry is not None
+        and entry.library is library
+        and entry.fingerprint == fingerprint
+    ):
+        metrics.counter("sta.compiled.cache_hits").inc()
+        return entry.graph
+    graph = build_timing_graph(
+        module,
+        library,
+        disables=disables,
+        instance_filter=(
+            set(instance_filter) if instance_filter is not None else None
+        ),
+        through_sequential=through_sequential,
+        derate=1.0,
+    )
+    compiled = CompiledTimingGraph(graph, module=module, library=library)
+    if entry is None and len(variants) >= _MAX_VARIANTS:
+        variants.pop(next(iter(variants)))
+    variants[key] = _CacheEntry(compiled, library, fingerprint)
+    return compiled
+
+
+def invalidate_module(module: Module) -> None:
+    """Drop every cached compiled graph of ``module``."""
+    _MODULE_CACHE.pop(module, None)
+
+
+def annotate_wires(
+    module: Module,
+    wire_caps: Optional[Dict[str, float]] = None,
+    wire_delays: Optional[Dict[str, float]] = None,
+    replace: bool = False,
+) -> None:
+    """Annotate wire parasitics and re-time cached graphs incrementally.
+
+    The supported way to change ``net_wire_cap`` / ``net_wire_delay``:
+    merges (or, with ``replace``, substitutes) the annotation dicts and
+    walks every live compiled graph of the module, re-propagating only
+    the fanout cones of the touched nets.  Writing the attributes
+    directly stays correct -- the fingerprint check forces a rebuild --
+    but forfeits the incremental path.
+    """
+    for attr, annotation in (
+        ("net_wire_cap", wire_caps),
+        ("net_wire_delay", wire_delays),
+    ):
+        if annotation is None:
+            continue
+        if replace or attr not in module.attributes:
+            module.attributes[attr] = dict(annotation)
+        else:
+            module.attributes[attr].update(annotation)
+
+    variants = _MODULE_CACHE.get(module)
+    if not variants:
+        return
+    fingerprint = _module_fingerprint(module)
+    stamp = module.mutation_count
+    for entry in variants.values():
+        if entry.fingerprint[0] == stamp and entry.graph.library is not None:
+            entry.graph.refresh_wires()
+            entry.fingerprint = fingerprint
+        # stale-stamp entries rebuild on next access via the fingerprint

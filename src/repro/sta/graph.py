@@ -14,6 +14,7 @@ compute the minimum clock period.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -23,6 +24,14 @@ from ..netlist.core import Module, PortDirection
 #: a timing node: (instance name or None for ports, pin/bit name)
 Node = Tuple[Optional[str], str]
 
+#: pseudo-instance name of shared fanout nodes on high-fanout nets
+NET_NODE = "__net__"
+
+
+def node_sort_key(node: Node) -> Tuple[bool, str, str]:
+    """Total order over nodes (port nodes have ``None`` instances)."""
+    return (node[0] is not None, node[0] or "", node[1])
+
 
 @dataclass
 class TimingEdge:
@@ -30,6 +39,12 @@ class TimingEdge:
     dst: Node
     delay: float
     kind: str  # "arc" | "net"
+    #: net whose load/annotation determines ``delay`` (``None`` for the
+    #: zero-delay fanout legs of a shared net node) -- consumed by the
+    #: compiled engine's incremental re-timing
+    net: Optional[str] = None
+    #: liberty arc behind an "arc" edge, for load-dependent recompute
+    arc: Optional[object] = None
 
 
 @dataclass
@@ -46,38 +61,113 @@ class TimingGraph:
     output_nodes: Set[Node] = field(default_factory=set)
     #: edges removed to break combinational cycles (back edges)
     broken_edges: List[TimingEdge] = field(default_factory=list)
+    #: derate factor the delays were built with (1.0 = base delays)
+    derate: float = 1.0
+    #: launch node -> [(arc, out_net)] contributions, for incremental
+    #: recompute of clock-to-output delays after load annotation
+    launch_arcs: Dict[Node, List[Tuple[object, str]]] = field(
+        default_factory=dict
+    )
 
     def add_edge(self, edge: TimingEdge) -> None:
         self.adjacency.setdefault(edge.src, []).append(edge)
         self.reverse.setdefault(edge.dst, []).append(edge)
 
-    def nodes(self) -> Set[Node]:
-        out: Set[Node] = set(self.adjacency)
-        out.update(self.reverse)
-        out.update(self.launch_nodes)
-        out.update(self.capture_nodes)
-        out.update(self.input_nodes)
-        out.update(self.output_nodes)
-        return out
+    def nodes(self) -> List[Node]:
+        """Every node, in deterministic insertion order.
+
+        The order seeds the topological sort, so it must not depend on
+        hash randomisation: dict-backed collections keep insertion
+        order and the port-node sets are sorted explicitly.
+        """
+        out: Dict[Node, None] = dict.fromkeys(self.adjacency)
+        out.update(dict.fromkeys(self.reverse))
+        out.update(dict.fromkeys(self.launch_nodes))
+        out.update(dict.fromkeys(self.capture_nodes))
+        out.update(dict.fromkeys(sorted(self.input_nodes, key=node_sort_key)))
+        out.update(dict.fromkeys(sorted(self.output_nodes, key=node_sort_key)))
+        return list(out)
+
+
+#: per-module load cache: module -> (library, fingerprint, loads)
+_LOADS_CACHE: "weakref.WeakKeyDictionary[Module, Tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def wire_attr_fingerprint(module: Module, attr: str):
+    """Cheap change-detection fingerprint of a wire-annotation dict.
+
+    Wire caps/delays are annotated by replacing/merging plain dicts in
+    ``module.attributes``, which does *not* bump the mutation stamp --
+    so caches that depend on them hash the dict contents instead.
+    """
+    annotation = module.attributes.get(attr)
+    if not annotation:
+        return None
+    return (len(annotation), hash(frozenset(annotation.items())))
+
+
+def _loads_fingerprint(module: Module):
+    return (
+        module.mutation_count,
+        wire_attr_fingerprint(module, "net_wire_cap"),
+    )
 
 
 def compute_net_loads(module: Module, library: Library) -> Dict[str, float]:
-    """Capacitive load per net: sink pin caps + estimated/annotated wire cap."""
+    """Capacitive load per net: sink pin caps + estimated/annotated wire cap.
+
+    Cached per (module mutation stamp, wire-cap annotation): regional
+    analyses (``region_critical_path`` with an ``instance_filter``) and
+    per-element ECO measurements no longer re-walk the whole module.
+    Loads are corner-independent (derates scale delays, not caps).  The
+    returned mapping is owned by the cache -- treat it as read-only.
+    """
+    fingerprint = _loads_fingerprint(module)
+    entry = _LOADS_CACHE.get(module)
+    if (
+        entry is not None
+        and entry[0] is library
+        and entry[1] == fingerprint
+    ):
+        return entry[2]
+    loads = _compute_net_loads(module, library)
+    _LOADS_CACHE[module] = (library, fingerprint, loads)
+    return loads
+
+
+def compute_net_pin_load(module: Module, library: Library, net_name: str,
+                         wire_cap: float) -> float:
+    """Load of one net, recomputed in ``compute_net_loads`` order.
+
+    Used by the compiled engine's incremental wire update so a single
+    annotated net does not force a full-module load pass; the addition
+    order matches the full pass exactly (bit-identical floats).
+    """
+    net = module.nets[net_name]
+    load = wire_cap
+    for ref in net.connections:
+        if ref.instance is None:
+            continue
+        inst = module.instances[ref.instance]
+        cell = library.cells.get(inst.cell)
+        if cell is None:
+            continue
+        pin = cell.pins.get(ref.pin)
+        if pin is not None and pin.direction == PortDirection.INPUT:
+            load += pin.capacitance
+    return load
+
+
+def _compute_net_loads(module: Module, library: Library) -> Dict[str, float]:
     wire_caps: Dict[str, float] = module.attributes.get("net_wire_cap", {})
     loads: Dict[str, float] = {}
-    for net_name, net in module.nets.items():
-        load = wire_caps.get(net_name, library.default_wire_cap)
-        for ref in net.connections:
-            if ref.instance is None:
-                continue
-            inst = module.instances[ref.instance]
-            cell = library.cells.get(inst.cell)
-            if cell is None:
-                continue
-            pin = cell.pins.get(ref.pin)
-            if pin is not None and pin.direction == PortDirection.INPUT:
-                load += pin.capacitance
-        loads[net_name] = load
+    default_cap = library.default_wire_cap
+    for net_name in module.nets:
+        loads[net_name] = compute_net_pin_load(
+            module, library, net_name, wire_caps.get(net_name, default_cap)
+        )
     return loads
 
 
@@ -103,6 +193,7 @@ def build_timing_graph(
     disables: Optional[Iterable[Disable]] = None,
     instance_filter: Optional[Set[str]] = None,
     through_sequential: bool = False,
+    derate: Optional[float] = None,
 ) -> TimingGraph:
     """Build the (combinational-mode) timing graph of a module.
 
@@ -110,13 +201,16 @@ def build_timing_graph(
     ``instance_filter`` is given, only those instances (and the nets
     between them) participate -- used for per-region analysis.  With
     ``through_sequential`` latch D->Q transparency arcs are kept, which
-    models the effective datapath view of Figure 4.3.
+    models the effective datapath view of Figure 4.3.  ``derate``
+    overrides the corner's factor -- the compiled engine builds base
+    graphs at ``derate=1.0`` and rescales per corner.
     """
-    derate = library.corner(corner).derate
+    if derate is None:
+        derate = library.corner(corner).derate
     disable_set: Set[Disable] = set(disables or ())
     loads = compute_net_loads(module, library)
     wire_delays: Dict[str, float] = module.attributes.get("net_wire_delay", {})
-    graph = TimingGraph(module)
+    graph = TimingGraph(module, derate=derate)
 
     for inst in module.instances.values():
         if instance_filter is not None and inst.name not in instance_filter:
@@ -145,6 +239,9 @@ def build_timing_graph(
                     node = (inst.name, arc.pin)
                     existing = graph.launch_nodes.get(node, 0.0)
                     graph.launch_nodes[node] = max(existing, delay)
+                    graph.launch_arcs.setdefault(node, []).append(
+                        (arc, out_net)
+                    )
                     continue
                 # transparent latch D->Q arc, kept in effective-view mode
             if inst.pins.get(arc.related_pin) is None:
@@ -157,11 +254,12 @@ def build_timing_graph(
                     (inst.name, arc.pin),
                     delay,
                     "arc",
+                    net=out_net,
+                    arc=arc,
                 )
             )
         if sequential and not through_sequential:
             # data inputs without an explicit setup arc still capture
-            seq = cell.sequential
             for pin in cell.pins.values():
                 if pin.direction != PortDirection.INPUT or pin.is_clock:
                     continue
@@ -201,9 +299,26 @@ def build_timing_graph(
                 drivers.append((ref.instance, ref.pin))
             elif not (pin.is_clock and not through_sequential):
                 sinks.append((ref.instance, ref.pin))
-        for driver in drivers:
+        if len(drivers) * len(sinks) > len(drivers) + len(sinks):
+            # multi-driver high-fanout net: one shared net node instead
+            # of the O(drivers x sinks) edge product.  The wire delay
+            # rides the driver legs; fanout legs are zero-delay, so
+            # every driver->sink arrival is unchanged.
+            shared = (NET_NODE, net_name)
+            for driver in drivers:
+                graph.add_edge(
+                    TimingEdge(driver, shared, wire_delay, "net", net=net_name)
+                )
             for sink in sinks:
-                graph.add_edge(TimingEdge(driver, sink, wire_delay, "net"))
+                graph.add_edge(TimingEdge(shared, sink, 0.0, "net"))
+        else:
+            for driver in drivers:
+                for sink in sinks:
+                    graph.add_edge(
+                        TimingEdge(
+                            driver, sink, wire_delay, "net", net=net_name
+                        )
+                    )
 
     _break_cycles(graph)
     return graph
