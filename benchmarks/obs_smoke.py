@@ -1,10 +1,14 @@
-"""CI observability smoke: trace + metrics on a reduced DLX.
+"""CI observability smoke: trace + metrics + waveforms on a reduced DLX.
 
 Drives the ``drdesync`` CLI end-to-end on a reduced DLX core
 (8 registers, 16-bit, no multiplier) with ``--trace``/``--metrics``/
-``--journal``, validates the artifacts, and derives ``BENCH_obs.json``
--- per-engine-phase wall times read back from the Chrome trace file,
-the way a consumer of the uploaded CI artifact would.
+``--journal`` plus the simulation-level artifacts
+``--vcd``/``--handshake-report``, validates everything (the VCD must
+round-trip through ``repro.obs.read_vcd``, the handshake report must
+cross-validate against the analytic model), and derives
+``BENCH_obs.json`` -- per-engine-phase wall times read back from the
+Chrome trace file plus the measured effective period, the way a
+consumer of the uploaded CI artifact would.
 
 Run directly (not collected by pytest)::
 
@@ -24,7 +28,7 @@ from repro.cli import main as cli_main  # noqa: E402
 from repro.designs import dlx_core  # noqa: E402
 from repro.liberty import core9_hs  # noqa: E402
 from repro.netlist import Netlist, save_verilog  # noqa: E402
-from repro.obs import phase_times  # noqa: E402
+from repro.obs import phase_times, read_vcd  # noqa: E402
 
 EXPECTED_PHASES = {
     "import", "group", "ffsub", "ddg", "delays", "network", "constraints",
@@ -49,6 +53,8 @@ def main(out_dir=None):
     trace_file = os.path.join(out_dir, "obs_trace.json")
     metrics_file = os.path.join(out_dir, "obs_metrics.json")
     journal_file = os.path.join(out_dir, "obs_journal.jsonl")
+    vcd_file = os.path.join(out_dir, "obs_handshake.vcd")
+    report_file = os.path.join(out_dir, "handshake_report.json")
     code = cli_main([
         src,
         "-o", os.path.join(out_dir, "dlx_small_desync.v"),
@@ -57,6 +63,9 @@ def main(out_dir=None):
         "--journal", journal_file,
         "--trace", trace_file,
         "--metrics", metrics_file,
+        "--vcd", vcd_file,
+        "--handshake-report", report_file,
+        "--observe-items", "8",
     ])
     if code != 0:
         raise SystemExit(f"drdesync exited {code}")
@@ -82,6 +91,27 @@ def main(out_dir=None):
     if missing:
         raise SystemExit(f"trace is missing engine phases: {sorted(missing)}")
 
+    # the VCD waveform must be spec-valid (round-trip the parser) and
+    # actually contain handshake activity
+    dump = read_vcd(vcd_file)
+    if not dump["names"] or not dump["changes"]:
+        raise SystemExit("VCD waveform is empty")
+    if not any(name.startswith("req_") for name in dump["names"]):
+        raise SystemExit("VCD is missing the handshake request nets")
+
+    with open(report_file) as handle:
+        report = json.load(handle)
+    if report.get("error"):
+        raise SystemExit(f"handshake simulation failed: {report['error']}")
+    if (report.get("watchdog") or {}).get("deadlock") is not None:
+        raise SystemExit("watchdog flagged a deadlock on the healthy DLX")
+    measured = report.get("effective_period_measured_ns")
+    if not measured or measured <= 0:
+        raise SystemExit("handshake report has no measured period")
+    for region, info in report["regions"].items():
+        if info["tokens"] < 2:
+            raise SystemExit(f"region {region} moved {info['tokens']} tokens")
+
     bench = {
         "bench": "obs_smoke",
         "design": "dlx_small",
@@ -90,6 +120,10 @@ def main(out_dir=None):
         "span_count": len(events),
         "regions": snapshot["gauges"]["desync.grouping.regions"],
         "cells": snapshot["gauges"]["desync.summary.cells"],
+        "effective_period_measured_ns": measured,
+        "critical_region_measured": report["critical_region_measured"],
+        "vcd_nets": len(dump["names"]),
+        "vcd_changes": len(dump["changes"]),
     }
     bench_file = os.path.join(out_dir, "BENCH_obs.json")
     with open(bench_file, "w") as handle:
@@ -97,7 +131,9 @@ def main(out_dir=None):
         handle.write("\n")
 
     print(f"obs smoke OK: {len(events)} spans, "
-          f"{bench['total_s']:.3f}s across {len(phases)} phases")
+          f"{bench['total_s']:.3f}s across {len(phases)} phases, "
+          f"VCD {len(dump['names'])} nets / {len(dump['changes'])} changes, "
+          f"measured period {measured:.3f} ns")
     print(f"wrote {bench_file}")
     return 0
 

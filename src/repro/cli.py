@@ -11,6 +11,8 @@ Usage::
              [--jobs 4] [--journal run.jsonl]
              [--cache-dir DIR | --no-cache]
              [--trace trace.json] [--metrics metrics.json]
+             [--vcd waves.vcd] [--vcd-net GLOB ...]
+             [--handshake-report report.json] [--observe-items N]
              [-v | --log-level LEVEL | --quiet]
 
 Exit codes: 0 on success, 1 on a usage error (bad arguments), 2 on a
@@ -29,6 +31,14 @@ Chrome trace-event JSON (load in Perfetto / chrome://tracing);
 flow maintains (region sizes, DDG fan-in, delay-ladder selection
 error, cache hits, ...).  Both are off by default and cost nothing
 when off.
+
+Simulation-level observability: ``--vcd FILE`` simulates the converted
+design under its handshake environment and writes a VCD waveform
+(default signal set: the controller handshake nets; widen with
+``--vcd-net 'dout*'`` globs), and ``--handshake-report FILE`` writes
+the token-flow JSON report -- per-region cycle-time statistics,
+occupancy, stall attribution, the deadlock-watchdog verdict, and the
+cross-validation against the analytic effective-period model.
 """
 
 from __future__ import annotations
@@ -157,6 +167,35 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="write a JSON snapshot of flow metrics",
     )
     parser.add_argument(
+        "--vcd",
+        metavar="FILE",
+        help="simulate the result and write a VCD waveform of the "
+        "handshake network (add --vcd-net globs for datapath nets)",
+    )
+    parser.add_argument(
+        "--vcd-net",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="net-name glob to include in the VCD (repeatable; "
+        "default: the controller handshake nets)",
+    )
+    parser.add_argument(
+        "--handshake-report",
+        metavar="FILE",
+        help="simulate the result and write the token-flow JSON report "
+        "(per-region cycle times, occupancy, stall attribution, "
+        "watchdog verdict, model cross-validation)",
+    )
+    parser.add_argument(
+        "--observe-items",
+        type=int,
+        default=16,
+        metavar="N",
+        help="handshake items to simulate for --vcd/--handshake-report "
+        "(default 16)",
+    )
+    parser.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -211,6 +250,49 @@ def _print_summary(result, module, engine, cache) -> None:
         engine.jobs,
         "off" if cache is None else "on",
     )
+
+
+def _observe_result(args: argparse.Namespace, result, library) -> None:
+    """Run the desynchronized design under the handshake probe
+    (``--vcd`` / ``--handshake-report``)."""
+    import json
+
+    from .flow.observe import observe_handshake
+
+    observation = observe_handshake(
+        result,
+        library,
+        items=args.observe_items,
+        vcd_path=args.vcd,
+        vcd_include=args.vcd_net or None,
+    )
+    report = observation.report
+    if args.vcd:
+        log.info(
+            "VCD written to %s (%d nets, %.1f ns)",
+            args.vcd,
+            len(observation.vcd_nets),
+            report["window_ns"],
+        )
+    if args.handshake_report:
+        with open(args.handshake_report, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        measured = report.get("effective_period_measured_ns")
+        log.info(
+            "handshake report written to %s (%d regions, "
+            "effective period %s ns)",
+            args.handshake_report,
+            len(report["regions"]),
+            f"{measured:.3f}" if measured is not None else "n/a",
+        )
+    if report.get("error"):
+        deadlock = (report.get("watchdog") or {}).get("deadlock") or {}
+        log.warning(
+            "handshake simulation stalled: %s (blocked cycle: %s)",
+            report["error"],
+            " -> ".join(deadlock.get("blocked_cycle", [])) or "none found",
+        )
 
 
 def _run_flow(args: argparse.Namespace) -> int:
@@ -279,6 +361,9 @@ def _run_flow(args: argparse.Namespace) -> int:
                 args.metrics,
                 len(registry),
             )
+
+        if args.vcd or args.handshake_report:
+            _observe_result(args, result, library)
     finally:
         journal.close()
         if tracer is not None:

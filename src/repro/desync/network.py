@@ -60,6 +60,46 @@ class ControlNetwork:
             out.extend(controller.gate_names)
         return out
 
+    def handshake_nets(self) -> Dict[str, Dict[str, str]]:
+        """Per-region handshake net names, post insertion/rerouting.
+
+        The observability layer (``repro.sim.probes``) auto-discovers
+        the nets to watch from this map instead of re-deriving the
+        naming scheme.  Per active region:
+
+        - ``req``      -- delayed request into the master (``req_<r>``)
+        - ``req_src``  -- the joined request *before* the matched delay
+          element (a predecessor's ``ys`` or the C-Muller join output)
+        - ``xm``/``ym``/``gm`` -- master admission/request elements and
+          enable pulse
+        - ``xs``/``ys``/``gs`` -- the slave's counterparts
+        - ``xma``      -- the ack-matching delayed acknowledge out
+        - ``ack``      -- the acknowledge the slave actually sees
+          (rerouted to the single source when no C-Muller was needed)
+        """
+        out: Dict[str, Dict[str, str]] = {}
+        for (region, role), controller in self.controllers.items():
+            if role != "master":
+                continue
+            slave = self.controllers[(region, "slave")]
+            element = self.delay_elements.get(region)
+            ack_element = self.ack_delays.get(region)
+            nets = {
+                "req": controller.ri_net,
+                "req_src": element.input_net if element else controller.ri_net,
+                "xm": controller.x_net,
+                "ym": controller.y_net,
+                "gm": controller.g_net,
+                "xs": slave.x_net,
+                "ys": slave.y_net,
+                "gs": slave.g_net,
+                "ack": slave.ao_net,
+            }
+            if ack_element is not None:
+                nets["xma"] = ack_element.output_net
+            out[region] = nets
+        return out
+
     def delay_instances(self) -> List[str]:
         out: List[str] = []
         for element in self.delay_elements.values():

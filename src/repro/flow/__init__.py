@@ -7,14 +7,17 @@ from .implementation import (
     implement_desynchronized,
     implement_synchronous,
 )
+from .observe import ObservationResult, observe_handshake
 
 __all__ = [
     "AreaReport",
     "ComparisonTable",
     "ImplementationResult",
+    "ObservationResult",
     "area_report",
     "compare_implementations",
     "implement_desynchronized",
     "implement_synchronous",
+    "observe_handshake",
     "overhead",
 ]

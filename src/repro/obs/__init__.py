@@ -22,37 +22,46 @@ that state; the CLI's ``--trace`` / ``--metrics`` flags (or an explicit
     write_metrics("metrics.json")
 """
 
-from . import export, logsetup, metrics, trace
+from . import export, logsetup, metrics, trace, vcd
 from .export import (
     aggregate_spans,
     chrome_trace_events,
+    handshake_trace_events,
     phase_times,
     summary_report,
     write_chrome_trace,
+    write_handshake_trace,
     write_metrics,
 )
 from .logsetup import configure_logging, get_logger
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NS_BUCKETS
 from .trace import NULL_SPAN, Span, Tracer
+from .vcd import VcdWriter, read_vcd
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NS_BUCKETS",
     "NULL_SPAN",
     "Span",
     "Tracer",
+    "VcdWriter",
     "aggregate_spans",
     "chrome_trace_events",
     "configure_logging",
     "export",
     "get_logger",
+    "handshake_trace_events",
     "logsetup",
     "metrics",
     "phase_times",
+    "read_vcd",
     "summary_report",
     "trace",
+    "vcd",
     "write_chrome_trace",
+    "write_handshake_trace",
     "write_metrics",
 ]

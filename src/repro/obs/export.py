@@ -176,6 +176,84 @@ def phase_times(
     return {name: round(total, 6) for name, total in sorted(totals.items())}
 
 
+def handshake_trace_events(probe) -> List[Dict[str, Any]]:
+    """Token-flow slices from a :class:`repro.sim.probes.HandshakeProbe`.
+
+    One Perfetto track (tid) per region: each handshake cycle is a
+    ``token`` complete-event slice and its stall-attribution segments
+    nest underneath it (same tid, contained ts/dur), so the waterfall
+    shows *why* each region's cycle took as long as it did.  Timestamps
+    map simulation nanoseconds to trace microseconds 1:1000, i.e. the
+    viewer's "1 ms" is one simulated microsecond.
+    """
+    pid = 1
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "handshake"},
+        }
+    ]
+    for tid, region in enumerate(sorted(probe.regions), start=1):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"region {region}"},
+            }
+        )
+        state = probe.regions[region]
+        for index, cycle in enumerate(state.cycles):
+            start, end = cycle["start"], cycle["end"]
+            events.append(
+                {
+                    "name": "token",
+                    "cat": "handshake",
+                    "ph": "X",
+                    "ts": round(start * 1e3, 3),
+                    "dur": round((end - start) * 1e3, 3),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"region": region, "index": index},
+                }
+            )
+            cursor = start
+            for key, duration in cycle["segments"].items():
+                if duration <= 0:
+                    continue
+                events.append(
+                    {
+                        "name": key,
+                        "cat": "handshake.stall",
+                        "ph": "X",
+                        "ts": round(cursor * 1e3, 3),
+                        "dur": round(duration * 1e3, 3),
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"region": region},
+                    }
+                )
+                cursor += duration
+    return events
+
+
+def write_handshake_trace(path: str, probe) -> Dict[str, Any]:
+    """Write a probe's token flow as a Chrome/Perfetto trace file."""
+    document = {
+        "traceEvents": handshake_trace_events(probe),
+        "displayTimeUnit": "ns",
+        "otherData": {"producer": "repro.sim.probes"},
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
 def write_metrics(
     path: str,
     registry: Optional[MetricsRegistry] = None,

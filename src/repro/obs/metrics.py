@@ -28,6 +28,13 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
 )
 
+#: nanosecond-scale preset for simulation latencies -- handshake cycle
+#: times, stall durations, delay-element margins -- where sub-ns
+#: resolution matters at the bottom and multi-us stalls at the top
+NS_BUCKETS: Tuple[float, ...] = (
+    0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+)
+
 
 class Counter:
     """Monotonically increasing count."""

@@ -1,0 +1,398 @@
+"""Value Change Dump (VCD) waveform writer and reader.
+
+The writer turns the simulator's net-change stream into an IEEE-1364
+VCD file any waveform viewer (GTKWave, Surfer, ...) opens directly::
+
+    from repro.obs import VcdWriter
+
+    writer = VcdWriter("run.vcd")
+    writer.attach(sim, include=["req_*", "ack_*", "dout*"])
+    testbench.run_items(32)
+    writer.close()
+
+``attach`` subscribes through :meth:`Simulator.watch_nets` with a
+*selective* net list, so unwatched nets cost nothing in the hot loop
+and the stream is identical under the ``compiled`` and ``reference``
+kernels.  Net names are mapped into hierarchical ``$scope`` blocks by
+splitting on ``.`` (override with ``scope_fn``) and bus bits like
+``dout[3]`` become indexed ``$var`` references.
+
+:func:`read_vcd` is the matching minimal parser -- enough to
+round-trip the writer's output in tests and to rebuild switching
+activity for the power estimator (``repro.power.activity_from_vcd``).
+Four-state values map as ``None`` <-> ``x``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
+
+__all__ = ["VcdWriter", "read_vcd", "vcd_id"]
+
+#: printable id-code alphabet the VCD spec allows (ASCII 33..126)
+_ID_FIRST = 33
+_ID_SPAN = 94
+
+_BIT_RE = re.compile(r"^(?P<base>.+)\[(?P<index>\d+)\]$")
+
+
+def vcd_id(index: int) -> str:
+    """The ``index``-th identifier code: ``!``, ``"``, ... base-94."""
+    if index < 0:
+        raise ValueError("identifier index must be >= 0")
+    code = chr(_ID_FIRST + index % _ID_SPAN)
+    index //= _ID_SPAN
+    while index:
+        index -= 1
+        code = chr(_ID_FIRST + index % _ID_SPAN) + code
+        index //= _ID_SPAN
+    return code
+
+
+def _default_scope(net: str) -> Tuple[Tuple[str, ...], str]:
+    """Split hierarchical names on ``.``: ``a.b.q`` -> ((a, b), q)."""
+    parts = net.split(".")
+    return tuple(parts[:-1]), parts[-1]
+
+
+def _value_char(value: Any) -> str:
+    if value is None:
+        return "x"
+    return "1" if value else "0"
+
+
+class VcdWriter:
+    """Streaming VCD writer fed from ``Simulator.watch_nets``.
+
+    The file is written incrementally: the header the first time a
+    change (or :meth:`dump_values`) arrives, one ``#time`` section per
+    distinct timestamp after that.  Times are nanoseconds scaled to the
+    1 ps timescale, so sub-ns gate delays stay exact.
+    """
+
+    #: one VCD tick per this many nanoseconds
+    TIMESCALE = "1ps"
+    _TICKS_PER_NS = 1000
+
+    def __init__(
+        self,
+        path: str,
+        top: str = "top",
+        date: str = "",
+        version: str = "repro.obs.vcd",
+    ):
+        self.path = path
+        self.top = top
+        self.date = date
+        self.version = version
+        self._handle = open(path, "w")
+        self._ids: Dict[str, str] = {}
+        self._last: Dict[str, Any] = {}
+        self._time: Optional[int] = None
+        self._header_done = False
+        self._closed = False
+        self._scope_fn: Callable[[str], Tuple[Tuple[str, ...], str]] = (
+            _default_scope
+        )
+        self._simulator = None
+
+    # ------------------------------------------------------------------
+    # signal declaration
+    # ------------------------------------------------------------------
+    def add_signals(self, nets: Iterable[str]) -> List[str]:
+        """Declare nets (before the header is written). Returns added."""
+        if self._header_done:
+            raise RuntimeError("VCD header already written; declare first")
+        added = []
+        for net in nets:
+            if net not in self._ids:
+                self._ids[net] = vcd_id(len(self._ids))
+                added.append(net)
+        return added
+
+    @staticmethod
+    def select_nets(
+        names: Iterable[str],
+        include: Optional[Sequence[str]] = None,
+        exclude: Optional[Sequence[str]] = None,
+    ) -> List[str]:
+        """Filter net names with fnmatch-style include/exclude globs."""
+        selected = []
+        for name in names:
+            if include and not any(
+                fnmatch.fnmatchcase(name, pat) for pat in include
+            ):
+                continue
+            if exclude and any(
+                fnmatch.fnmatchcase(name, pat) for pat in exclude
+            ):
+                continue
+            selected.append(name)
+        return selected
+
+    def attach(
+        self,
+        simulator,
+        nets: Optional[Iterable[str]] = None,
+        include: Optional[Sequence[str]] = None,
+        exclude: Optional[Sequence[str]] = None,
+        scope_fn: Optional[
+            Callable[[str], Tuple[Tuple[str, ...], str]]
+        ] = None,
+    ) -> List[str]:
+        """Subscribe to a simulator and dump the current state.
+
+        ``nets`` takes the exact list; otherwise every module net is a
+        candidate, filtered by ``include``/``exclude`` glob patterns
+        (constant tie nets are always dropped).  Writes the header and
+        a ``$dumpvars`` section with the nets' current values, then
+        streams changes until :meth:`close`.
+        """
+        if scope_fn is not None:
+            self._scope_fn = scope_fn
+        if nets is None:
+            candidates = [
+                name
+                for name, net in simulator.module.nets.items()
+                if not getattr(net, "is_constant", False)
+            ]
+            selected = self.select_nets(candidates, include, exclude)
+        else:
+            selected = self.select_nets(nets, include, exclude)
+        self.top = simulator.module.name or self.top
+        self.add_signals(selected)
+        self._simulator = simulator
+        self.dump_values(
+            simulator.now, {n: simulator.net_values.get(n) for n in selected}
+        )
+        simulator.watch_nets(self.record, nets=selected)
+        return selected
+
+    # ------------------------------------------------------------------
+    # header
+    # ------------------------------------------------------------------
+    def _write_header(self) -> None:
+        write = self._handle.write
+        if self.date:
+            write(f"$date\n    {self.date}\n$end\n")
+        write(f"$version\n    {self.version}\n$end\n")
+        write(f"$timescale {self.TIMESCALE} $end\n")
+        # group declarations by scope path, emitting nested $scope blocks
+        by_scope: Dict[Tuple[str, ...], List[Tuple[str, str]]] = {}
+        for net, code in self._ids.items():
+            scope, leaf = self._scope_fn(net)
+            by_scope.setdefault(scope, []).append((leaf, code))
+        write(f"$scope module {self.top} $end\n")
+        current: Tuple[str, ...] = ()
+        for scope in sorted(by_scope):
+            # unwind to the common prefix, then descend
+            common = 0
+            while (
+                common < len(current)
+                and common < len(scope)
+                and current[common] == scope[common]
+            ):
+                common += 1
+            for _ in range(len(current) - common):
+                write("$upscope $end\n")
+            for name in scope[common:]:
+                write(f"$scope module {name} $end\n")
+            current = scope
+            for leaf, code in sorted(by_scope[scope]):
+                match = _BIT_RE.match(leaf)
+                if match:
+                    reference = (
+                        f"{match.group('base')} [{match.group('index')}]"
+                    )
+                else:
+                    reference = leaf
+                write(f"$var wire 1 {code} {reference} $end\n")
+        for _ in range(len(current)):
+            write("$upscope $end\n")
+        write("$upscope $end\n")
+        write("$enddefinitions $end\n")
+        self._header_done = True
+
+    # ------------------------------------------------------------------
+    # change stream
+    # ------------------------------------------------------------------
+    def _emit_time(self, time_ns: float) -> None:
+        tick = int(round(time_ns * self._TICKS_PER_NS))
+        if self._time is None or tick > self._time:
+            self._handle.write(f"#{tick}\n")
+            self._time = tick
+
+    def dump_values(self, time_ns: float, values: Dict[str, Any]) -> None:
+        """Write a ``$dumpvars`` snapshot (declared nets only)."""
+        if not self._header_done:
+            self._write_header()
+        self._emit_time(time_ns)
+        write = self._handle.write
+        write("$dumpvars\n")
+        for net, code in self._ids.items():
+            value = values.get(net)
+            self._last[net] = value
+            write(f"{_value_char(value)}{code}\n")
+        write("$end\n")
+
+    def record(self, time_ns: float, net: str, value: Any) -> None:
+        """Record one net change (the ``watch_nets`` callback)."""
+        code = self._ids.get(net)
+        if code is None:
+            return
+        if self._last.get(net, _MISSING) == value:
+            return
+        if not self._header_done:
+            self._write_header()
+        self._emit_time(time_ns)
+        self._last[net] = value
+        self._handle.write(f"{_value_char(value)}{code}\n")
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._closed:
+            return
+        if not self._header_done:
+            self._write_header()
+        if self._simulator is not None and self._time is not None:
+            final = int(round(self._simulator.now * self._TICKS_PER_NS))
+            if final > self._time:
+                self._handle.write(f"#{final}\n")
+                self._time = final
+        self._closed = True
+        self._handle.close()
+
+    def __enter__(self) -> "VcdWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+_TIMESCALE_NS = {"s": 1e9, "ms": 1e6, "us": 1e3, "ns": 1.0, "ps": 1e-3,
+                 "fs": 1e-6}
+
+
+def read_vcd(path: str) -> Dict[str, Any]:
+    """Parse a (scalar-signal) VCD file.
+
+    Returns a dict with:
+
+    - ``timescale_ns`` -- nanoseconds per ``#`` tick,
+    - ``signals`` -- hierarchical name per id code,
+    - ``changes`` -- ``[(time_ns, name, value)]`` after the initial
+      ``$dumpvars`` block, in file order (``None`` for ``x``/``z``),
+    - ``initial`` -- the ``$dumpvars`` snapshot,
+    - ``values`` -- final value per signal,
+    - ``end_time_ns`` -- the last timestamp seen.
+    """
+    timescale_ns = 1e-3
+    signals: Dict[str, str] = {}  # id code -> full name
+    scope: List[str] = []
+    changes: List[Tuple[float, str, Any]] = []
+    initial: Dict[str, Any] = {}
+    values: Dict[str, Any] = {}
+    time_ns = 0.0
+    end_time_ns = 0.0
+    in_dumpvars = False
+    header = True
+
+    def decode(char: str) -> Any:
+        if char == "0":
+            return 0
+        if char == "1":
+            return 1
+        return None  # x / z / u
+
+    with open(path) as handle:
+        tokens = handle.read().split()
+    i = 0
+    n = len(tokens)
+    while i < n:
+        token = tokens[i]
+        if header:
+            if token == "$timescale":
+                spec = ""
+                i += 1
+                while i < n and tokens[i] != "$end":
+                    spec += tokens[i]
+                    i += 1
+                match = re.match(r"(\d+)\s*(\w+)", spec)
+                if not match:
+                    raise ValueError(f"bad $timescale {spec!r} in {path}")
+                unit = _TIMESCALE_NS.get(match.group(2))
+                if unit is None:
+                    raise ValueError(f"unknown timescale unit in {spec!r}")
+                timescale_ns = int(match.group(1)) * unit
+            elif token == "$scope":
+                # $scope module <name> $end
+                scope.append(tokens[i + 2])
+                i += 3
+            elif token == "$upscope":
+                scope.pop()
+                i += 1
+            elif token == "$var":
+                # $var wire 1 <code> <reference...> $end
+                code = tokens[i + 3]
+                i += 4
+                reference: List[str] = []
+                while i < n and tokens[i] != "$end":
+                    reference.append(tokens[i])
+                    i += 1
+                name = "".join(reference)  # "dout [3]" -> "dout[3]"
+                if len(scope) > 1:  # drop the top module scope
+                    name = ".".join(scope[1:] + [name])
+                signals[code] = name
+            elif token == "$enddefinitions":
+                header = False
+            i += 1
+            continue
+        if token.startswith("#"):
+            time_ns = int(token[1:]) * timescale_ns
+            end_time_ns = max(end_time_ns, time_ns)
+            i += 1
+            continue
+        if token == "$dumpvars":
+            in_dumpvars = True
+            i += 1
+            continue
+        if token == "$end":
+            in_dumpvars = False
+            i += 1
+            continue
+        if token.startswith("$"):  # $comment etc. -- skip to $end
+            i += 1
+            while i < n and tokens[i] != "$end":
+                i += 1
+            i += 1
+            continue
+        value = decode(token[0])
+        code = token[1:]
+        name = signals.get(code)
+        if name is None:
+            raise ValueError(f"undeclared VCD id code {code!r} in {path}")
+        if in_dumpvars:
+            initial[name] = value
+        else:
+            changes.append((time_ns, name, value))
+        values[name] = value
+        i += 1
+    return {
+        "timescale_ns": timescale_ns,
+        "signals": dict(sorted(signals.items())),
+        "names": sorted(set(signals.values())),
+        "initial": initial,
+        "changes": changes,
+        "values": values,
+        "end_time_ns": end_time_ns,
+    }

@@ -3,13 +3,19 @@
 from .estimate import (
     ActivityProfile,
     PowerReport,
+    WindowedActivityRecorder,
     activity_from_simulation,
+    activity_from_vcd,
+    activity_from_window,
     estimate_power,
 )
 
 __all__ = [
     "ActivityProfile",
     "PowerReport",
+    "WindowedActivityRecorder",
     "activity_from_simulation",
+    "activity_from_vcd",
+    "activity_from_window",
     "estimate_power",
 ]

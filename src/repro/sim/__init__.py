@@ -14,10 +14,17 @@ from .flowequiv import (
     run_desynchronized,
     run_synchronous,
 )
+from .probes import (
+    DeadlockWatchdog,
+    HandshakeProbe,
+    handshake_report,
+)
 
 __all__ = [
     "CaptureEvent",
+    "DeadlockWatchdog",
     "FlowEquivalenceReport",
+    "HandshakeProbe",
     "HandshakeResult",
     "HandshakeTestbench",
     "SimulationError",
@@ -26,6 +33,7 @@ __all__ = [
     "SyncTestbench",
     "Value",
     "check_flow_equivalence",
+    "handshake_report",
     "initialize_registers",
     "run_desynchronized",
     "run_synchronous",

@@ -1,0 +1,429 @@
+"""Handshake observability: token-flow probe, stall attribution, watchdog.
+
+The desynchronized circuit's behaviour lives in its controller network:
+tokens ripple around the ``x``/``y`` C-element ring, the matched delay
+elements pace each request, and back-pressure shows up as a high
+acknowledge that keeps ``y`` from returning.  :class:`HandshakeProbe`
+watches exactly those nets (auto-discovered through
+:meth:`repro.desync.network.ControlNetwork.handshake_nets`), decodes the
+4-phase protocol into per-region **token events** and splits every
+handshake cycle into attribution segments:
+
+``blocked_on_predecessor``
+    from the previous capture until the *joined* request (the C-Muller
+    output feeding the delay element) rises -- waiting for upstream
+    tokens.
+``waiting_on_delay``
+    from the joined request to the delayed ``req_<r>`` -- the matched
+    delay element covering the region's combinational cloud.
+``blocked_on_successor_ack``
+    from the delayed request until the master admission element ``xm``
+    rises -- ``xm = C(req, !ym)`` cannot fire while the y-element is
+    still held by the un-acknowledged previous token, i.e. downstream
+    back-pressure.
+``pulse``
+    the remainder, through the enable pulse to the capture itself.
+
+A **token** is counted at every falling edge of the master enable
+``gm`` -- the instant the region's master latches capture -- so probe
+token counts equal ``capture_sequences()`` lengths for the region's
+master latches and steady-state cycle times are directly comparable to
+:func:`repro.perf.cycle.measure_effective_period`.
+
+:class:`DeadlockWatchdog` flags windows with no handshake progress and,
+on a terminal stall, names the blocked controller cycle by following
+wait edges (waiting-request -> predecessors, blocked-on-ack ->
+successors) over the data-dependency graph.
+
+Everything here is pull-based over :meth:`Simulator.watch_nets`
+selective subscriptions: an un-probed simulation pays nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..obs.metrics import Histogram, NS_BUCKETS
+
+__all__ = [
+    "HandshakeProbe",
+    "DeadlockWatchdog",
+    "handshake_report",
+    "STALL_KEYS",
+]
+
+#: attribution segment names, in within-cycle order
+STALL_KEYS = (
+    "blocked_on_predecessor",
+    "waiting_on_delay",
+    "blocked_on_successor_ack",
+    "pulse",
+)
+
+
+class _RegionState:
+    """Mutable per-region decode state."""
+
+    __slots__ = (
+        "values", "rise", "token_times", "cycles",
+        "xm_high_since", "xm_high_total", "histogram",
+    )
+
+    def __init__(self, name: str):
+        self.values: Dict[str, Any] = {}
+        #: last rise time per net key ("req_src", "req", "xm", ...)
+        self.rise: Dict[str, float] = {}
+        self.token_times: List[float] = []
+        #: per-cycle records: {"start", "end", "segments": {...}}
+        self.cycles: List[Dict[str, Any]] = []
+        self.xm_high_since: Optional[float] = None
+        self.xm_high_total = 0.0
+        self.histogram = Histogram(f"handshake.cycle.{name}", NS_BUCKETS)
+
+
+class HandshakeProbe:
+    """Decode controller-network activity into per-region token flow.
+
+    ``source`` is a :class:`repro.desync.tool.DesyncResult` (preferred:
+    brings the DDG for blocked-cycle search) or a bare
+    :class:`repro.desync.network.ControlNetwork`.
+    """
+
+    def __init__(self, simulator, source):
+        network = getattr(source, "network", source)
+        self.network = network
+        self.ddg = getattr(source, "ddg", None)
+        self.nets: Dict[str, Dict[str, str]] = network.handshake_nets()
+        #: net name -> [(region, key)] -- one net can matter to two
+        #: regions (a predecessor's ys is the successor's joined request)
+        self._dispatch: Dict[str, List[Tuple[str, str]]] = {}
+        self.regions: Dict[str, _RegionState] = {}
+        for region, keyed in self.nets.items():
+            self.regions[region] = _RegionState(region)
+            for key, net in keyed.items():
+                self._dispatch.setdefault(net, []).append((region, key))
+        self.simulator = simulator
+        self.start_time = simulator.now
+        self.last_event_time: Optional[float] = None
+        self.event_count = 0
+        self._listeners: List[Callable[[float], None]] = []
+        # seed decode state from the current net values so edges are
+        # recognised from the very first change
+        for region, keyed in self.nets.items():
+            state = self.regions[region]
+            for key, net in keyed.items():
+                state.values[key] = simulator.net_values.get(net)
+        simulator.watch_nets(self._on_change, nets=list(self._dispatch))
+
+    # ------------------------------------------------------------------
+    # event decode
+    # ------------------------------------------------------------------
+    def _on_change(self, now: float, net: str, value: Any) -> None:
+        self.event_count += 1
+        previous_event = self.last_event_time
+        self.last_event_time = now
+        for region, key in self._dispatch[net]:
+            state = self.regions[region]
+            old = state.values.get(key)
+            state.values[key] = value
+            if value == 1 and old != 1:
+                state.rise[key] = now
+                if key == "xm" and state.xm_high_since is None:
+                    state.xm_high_since = now
+            elif old == 1 and value != 1:
+                if key == "xm" and state.xm_high_since is not None:
+                    state.xm_high_total += now - state.xm_high_since
+                    state.xm_high_since = None
+                if key == "gm":
+                    self._token(state, now)
+        for listener in self._listeners:
+            listener(now)
+        del previous_event  # gap analysis lives in the watchdog
+
+    def _token(self, state: _RegionState, now: float) -> None:
+        """A gm falling edge: the master latches captured a token."""
+        times = state.token_times
+        if times:
+            start = times[-1]
+            cycle = now - start
+            state.histogram.observe(cycle)
+            rise = state.rise
+            cursor = start
+            segments: Dict[str, float] = {}
+            for key, net_key in (
+                ("blocked_on_predecessor", "req_src"),
+                ("waiting_on_delay", "req"),
+                ("blocked_on_successor_ack", "xm"),
+            ):
+                at = rise.get(net_key)
+                if at is None or at > now:
+                    segments[key] = 0.0
+                    continue
+                segments[key] = max(at - cursor, 0.0)
+                cursor = max(at, cursor)
+            segments["pulse"] = max(now - cursor, 0.0)
+            state.cycles.append(
+                {"start": start, "end": now, "segments": segments}
+            )
+        times.append(now)
+
+    def watched_nets(self) -> List[str]:
+        """Every net the probe subscribed to, sorted."""
+        return sorted(self._dispatch)
+
+    def add_listener(self, listener: Callable[[float], None]) -> None:
+        """Call ``listener(now)`` on every handshake net change."""
+        self._listeners.append(listener)
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        """Close open occupancy intervals at ``now`` (default: sim.now)."""
+        if now is None:
+            now = self.simulator.now
+        for state in self.regions.values():
+            if state.xm_high_since is not None:
+                state.xm_high_total += max(now - state.xm_high_since, 0.0)
+                state.xm_high_since = now
+
+    # ------------------------------------------------------------------
+    # per-region statistics
+    # ------------------------------------------------------------------
+    def token_counts(self) -> Dict[str, int]:
+        return {
+            region: len(state.token_times)
+            for region, state in self.regions.items()
+        }
+
+    def cycle_stats(
+        self, region: str, warmup: int = 3
+    ) -> Optional[Dict[str, float]]:
+        """Steady-state cycle time for ``region``.
+
+        The mean is computed exactly like
+        :func:`repro.perf.cycle.measure_effective_period`: drop the
+        first ``warmup`` tokens, average the remaining intervals.
+        """
+        times = self.regions[region].token_times
+        if len(times) < warmup + 2:
+            return None
+        steady = times[warmup:]
+        intervals = [b - a for a, b in zip(steady, steady[1:])]
+        return {
+            "count": len(intervals),
+            "mean": (steady[-1] - steady[0]) / (len(steady) - 1),
+            "min": min(intervals),
+            "max": max(intervals),
+        }
+
+    def occupancy(self, region: str) -> float:
+        """Fraction of the observed window the admission element held
+        a token (``xm`` high).  Call :meth:`finalize` first."""
+        window = (self.last_event_time or self.start_time) - self.start_time
+        if window <= 0:
+            return 0.0
+        return min(self.regions[region].xm_high_total / window, 1.0)
+
+    def stall_totals(self, region: str) -> Dict[str, float]:
+        """Summed attribution segments over every recorded cycle."""
+        totals = {key: 0.0 for key in STALL_KEYS}
+        for cycle in self.regions[region].cycles:
+            for key, value in cycle["segments"].items():
+                totals[key] += value
+        return totals
+
+    # ------------------------------------------------------------------
+    # live phase / blocked-cycle analysis
+    # ------------------------------------------------------------------
+    def region_phase(self, region: str) -> str:
+        """Classify a region's controller state from current values.
+
+        - ``waiting-request``: no request pending -- starved by the
+          predecessors or still inside the delay element.
+        - ``blocked-on-successor-ack``: a request is pending but the
+          admission element cannot fire (y held by an un-acked token),
+          or the y-element is held high by the acknowledge itself.
+        - ``capturing``: the enable pulse is open.
+        - ``advancing``: a request has been admitted and is moving
+          through the pipeline normally.
+        """
+        values = self.regions[region].values
+        req, xm, ym = values.get("req"), values.get("xm"), values.get("ym")
+        ack, gm = values.get("ack"), values.get("gm")
+        if gm == 1:
+            return "capturing"
+        if xm != 1:
+            if req == 1:
+                return "blocked-on-successor-ack" if ym == 1 else "advancing"
+            return "waiting-request"
+        if ym == 1 and ack == 1:
+            return "blocked-on-successor-ack"
+        return "advancing"
+
+    def blocked_regions(self) -> Dict[str, str]:
+        """Regions currently in a blocked phase, with the phase name."""
+        out: Dict[str, str] = {}
+        for region in self.regions:
+            phase = self.region_phase(region)
+            if phase in ("waiting-request", "blocked-on-successor-ack"):
+                out[region] = phase
+        return out
+
+    def blocked_cycle(self) -> List[str]:
+        """A controller cycle of mutually waiting regions, if one exists.
+
+        Follows wait edges over the DDG -- a starved region waits on
+        its predecessors, a back-pressured one on its successors -- and
+        returns the first cycle found (the deadlocked controller ring),
+        or an empty list.
+        """
+        if self.ddg is None:
+            return []
+        from ..desync.ddg import predecessors_of, successors_of
+
+        blocked = self.blocked_regions()
+        edges: Dict[str, List[str]] = {}
+        for region, phase in blocked.items():
+            if phase == "waiting-request":
+                neighbours = predecessors_of(self.ddg, region)
+            else:
+                neighbours = successors_of(self.ddg, region)
+            edges[region] = [n for n in neighbours if n in blocked]
+        # DFS cycle search over the wait graph
+        for start in sorted(edges):
+            stack = [(start, [start])]
+            seen = set()
+            while stack:
+                node, path = stack.pop()
+                for neighbour in edges.get(node, ()):
+                    if neighbour == start:
+                        return path
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append((neighbour, path + [neighbour]))
+        return []
+
+
+class DeadlockWatchdog:
+    """Flag no-handshake-progress windows on a probed simulation.
+
+    Passive mode: every handshake event checks the gap since the
+    previous one; gaps above ``window_ns`` are recorded retroactively
+    as stall windows.  Call :meth:`poll` after the run (or after a
+    simulator timeout) to detect a *terminal* stall -- that is when the
+    blocked controller cycle gets named, since the net values still
+    hold the deadlocked state.
+    """
+
+    def __init__(self, probe: HandshakeProbe, window_ns: float = 100.0):
+        self.probe = probe
+        self.window_ns = window_ns
+        #: retroactive no-progress windows: {"start", "end", "gap_ns"}
+        self.stalls: List[Dict[str, float]] = []
+        self.deadlock: Optional[Dict[str, Any]] = None
+        self._last: Optional[float] = probe.last_event_time
+        probe.add_listener(self._on_event)
+
+    def _on_event(self, now: float) -> None:
+        last = self._last
+        if last is not None and now - last > self.window_ns:
+            self.stalls.append(
+                {"start": last, "end": now, "gap_ns": now - last}
+            )
+        self._last = now
+
+    def poll(self, now: Optional[float] = None) -> bool:
+        """Check for a terminal stall at ``now`` (default: sim.now).
+
+        Returns True (and fills :attr:`deadlock`) when no handshake
+        event happened for at least ``window_ns`` before ``now``.
+        """
+        if now is None:
+            now = self.probe.simulator.now
+        last = self._last if self._last is not None else self.probe.start_time
+        gap = now - last
+        if gap < self.window_ns:
+            return False
+        blocked = self.probe.blocked_regions()
+        self.deadlock = {
+            "since": last,
+            "detected_at": now,
+            "gap_ns": gap,
+            "blocked_regions": blocked,
+            "blocked_cycle": self.probe.blocked_cycle(),
+        }
+        return True
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "window_ns": self.window_ns,
+            "stall_windows": list(self.stalls),
+            "deadlock": self.deadlock,
+        }
+
+
+def handshake_report(
+    probe: HandshakeProbe,
+    result=None,
+    library=None,
+    corner: str = "worst",
+    warmup: int = 3,
+    watchdog: Optional[DeadlockWatchdog] = None,
+) -> Dict[str, Any]:
+    """Aggregate a probe into a JSON-serialisable token-flow report.
+
+    When ``result`` (a ``DesyncResult``) and ``library`` are given the
+    measured numbers are cross-validated against the analytical
+    :func:`repro.perf.cycle.effective_period_model`: the report gains a
+    ``model`` section and an ``agreement`` ratio
+    (measured / modelled effective period).
+    """
+    probe.finalize()
+    regions: Dict[str, Any] = {}
+    worst: Optional[Tuple[float, str]] = None
+    for region in sorted(probe.regions):
+        state = probe.regions[region]
+        stats = probe.cycle_stats(region, warmup=warmup)
+        totals = probe.stall_totals(region)
+        stalled = sum(totals.values())
+        regions[region] = {
+            "tokens": len(state.token_times),
+            "cycle_ns": stats,
+            "occupancy": round(probe.occupancy(region), 6),
+            "stall_ns": {k: round(v, 6) for k, v in totals.items()},
+            "stall_fraction": {
+                k: round(v / stalled, 6) if stalled > 0 else 0.0
+                for k, v in totals.items()
+            },
+            "histogram": state.histogram.snapshot(),
+        }
+        if stats is not None:
+            if worst is None or stats["mean"] > worst[0]:
+                worst = (stats["mean"], region)
+    report: Dict[str, Any] = {
+        "window_ns": round(
+            (probe.last_event_time or probe.start_time) - probe.start_time, 6
+        ),
+        "events": probe.event_count,
+        "regions": regions,
+        "effective_period_measured_ns": worst[0] if worst else None,
+        "critical_region_measured": worst[1] if worst else None,
+    }
+    if result is not None and library is not None:
+        from ..perf.cycle import effective_period_model
+
+        model = effective_period_model(result, library, corner=corner)
+        report["model"] = {
+            "corner": corner,
+            "effective_period_ns": model.effective_period,
+            "critical_region": model.critical_region,
+            "critical_cycle": model.critical_cycle,
+            "per_region_ns": dict(model.per_region),
+        }
+        if worst is not None and model.effective_period > 0:
+            ratio = worst[0] / model.effective_period
+            report["agreement"] = {
+                "measured_over_model": round(ratio, 6),
+                "within_5pct": abs(ratio - 1.0) <= 0.05,
+            }
+    if watchdog is not None:
+        report["watchdog"] = watchdog.report()
+    return report
