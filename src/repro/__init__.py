@@ -21,7 +21,7 @@ Quick start::
     print(result.export_sdc())
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from . import obs  # noqa: F401
 from . import netlist  # noqa: F401
@@ -38,3 +38,4 @@ from . import variability  # noqa: F401
 from . import perf  # noqa: F401
 from . import designs  # noqa: F401
 from . import flow  # noqa: F401
+from . import service  # noqa: F401

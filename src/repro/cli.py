@@ -4,6 +4,9 @@ a sequence of steps").
 
 Usage::
 
+    drdesync serve  [--port 8642] [--workers N] ...   # job daemon
+    drdesync submit DESIGN [--wait] [--url URL] ...   # client verbs
+    drdesync status [JOB_ID] [--url URL]
     drdesync design.v -o out.v --sdc out.sdc [--blif out.blif]
              [--library hs|ll | --liberty file.lib]
              [--group auto|single] [--false-path NET ...]
@@ -70,6 +73,9 @@ from .obs import (
 EXIT_OK = 0
 EXIT_USAGE = 1
 EXIT_FLOW = 2
+
+#: first-argument verbs routed to :mod:`repro.service.cli`
+SERVICE_COMMANDS = ("serve", "submit", "status", "cancel", "shutdown")
 
 log = logging.getLogger("repro.cli")
 
@@ -376,6 +382,13 @@ def _run_flow(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SERVICE_COMMANDS:
+        # the service verbs (daemon + HTTP client) live in their own
+        # sub-parser: ``drdesync serve`` / ``submit`` / ``status`` ...
+        from .service.cli import service_main
+
+        return service_main(argv)
     parser = build_argument_parser()
     try:
         args = parser.parse_args(argv)

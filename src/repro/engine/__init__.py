@@ -39,7 +39,7 @@ from .executor import (
 )
 from .graph import FlowGraph, FlowGraphError, Stage
 from .journal import RunJournal, read_journal
-from .pool import default_jobs, parallel_map
+from .pool import PoolItemError, default_jobs, parallel_map
 from .report import engine_stats, render_report, write_engine_stats
 from .stages import (
     DESYNC_ARTIFACTS,
@@ -60,6 +60,7 @@ __all__ = [
     "FlowGraphError",
     "FlowResult",
     "HashError",
+    "PoolItemError",
     "RunJournal",
     "SerialExecutor",
     "Stage",

@@ -22,13 +22,19 @@ that change -- the basis of the invalidation tests.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import os
 import pickle
 import tempfile
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # POSIX advisory file locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from ..netlist.core import Module
 
@@ -174,6 +180,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -188,6 +195,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evictions": self.evictions,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -233,13 +241,44 @@ class ArtifactCache:
     files (``<key>.<n>.pkl``) for large ones, so lazy readers can skip
     deserialising netlist snapshots nobody consumes.  Writes are atomic
     (tempfile + rename, sidecars before manifest) so concurrent runs
-    sharing one cache directory never observe a torn entry.
+    sharing one cache directory never observe a torn entry; on POSIX an
+    advisory ``.lock`` file additionally serialises ``put``/``clear``
+    across *processes*, so daemon workers can share ``.repro_cache/``.
+
+    ``max_bytes`` caps the on-disk size: after every store, entries are
+    evicted least-recently-used first (manifest mtime; hits touch the
+    manifest) until the cache fits.  The entry just written survives
+    even when it alone exceeds the cap.
     """
 
-    def __init__(self, directory: str, enabled: bool = True):
+    def __init__(
+        self,
+        directory: str,
+        enabled: bool = True,
+        max_bytes: Optional[int] = None,
+    ):
         self.directory = os.path.abspath(directory)
         self.enabled = enabled
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
+
+    @contextlib.contextmanager
+    def _advisory_lock(self):
+        """Inter-process write guard (no-op where flock is missing)."""
+        if fcntl is None:
+            yield
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        lock_path = os.path.join(self.directory, ".lock")
+        handle = open(lock_path, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                handle.close()
 
     def _path(self, key: str, part: Optional[int] = None) -> str:
         name = key if part is None else f"{key}.{part}"
@@ -280,6 +319,12 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        try:
+            # touch the manifest so mtime-ordered eviction is LRU, not
+            # merely FIFO
+            os.utime(self._path(key))
+        except OSError:
+            pass
         outputs: Dict[str, Any] = {}
         try:
             for name, blob in manifest["inline"].items():
@@ -312,6 +357,13 @@ class ArtifactCache:
         """Store ``value`` under ``key``; False if unpicklable/disabled."""
         if not self.enabled:
             return False
+        with self._advisory_lock():
+            stored = self._put_locked(key, value)
+            if stored and self.max_bytes is not None:
+                self._evict(protect=key)
+        return stored
+
+    def _put_locked(self, key: str, value: Dict[str, Any]) -> bool:
         os.makedirs(os.path.dirname(self._path(key)), exist_ok=True)
         inline: Dict[str, bytes] = {}
         sidecar: Dict[str, str] = {}
@@ -339,19 +391,80 @@ class ArtifactCache:
         self.stats.stores += 1
         return True
 
+    def _entries(self) -> List[Tuple[float, str, List[str], int]]:
+        """Cache entries as ``(manifest mtime, key, files, bytes)``.
+
+        Sidecars (``<key>.<n>.pkl``) are billed to their manifest, so an
+        entry is always evicted as a unit.
+        """
+        groups: Dict[str, Dict[str, Any]] = {}
+        if not os.path.isdir(self.directory):
+            return []
+        for root, _dirs, files in os.walk(self.directory):
+            for name in files:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(root, name)
+                stem = name[: -len(".pkl")]
+                key, dot, part = stem.rpartition(".")
+                if not dot or not part.isdigit():
+                    key = stem
+                entry = groups.setdefault(
+                    key, {"files": [], "bytes": 0, "mtime": None}
+                )
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entry["files"].append(path)
+                entry["bytes"] += stat.st_size
+                if stem == key:  # the manifest itself
+                    entry["mtime"] = stat.st_mtime
+        return sorted(
+            (e["mtime"] or 0.0, key, e["files"], e["bytes"])
+            for key, e in groups.items()
+        )
+
+    def size_bytes(self) -> int:
+        """Total bytes currently stored (manifests plus sidecars)."""
+        return sum(size for _mtime, _key, _files, size in self._entries())
+
+    def _evict(self, protect: Optional[str] = None) -> int:
+        """Drop least-recently-used entries until under ``max_bytes``."""
+        if self.max_bytes is None:
+            return 0
+        entries = self._entries()
+        total = sum(size for _mtime, _key, _files, size in entries)
+        evicted = 0
+        for _mtime, key, files, size in entries:
+            if total <= self.max_bytes:
+                break
+            if key == protect:
+                continue
+            for path in files:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            total -= size
+            evicted += 1
+        self.stats.evictions += evicted
+        return evicted
+
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""
         removed = 0
         if not os.path.isdir(self.directory):
             return removed
-        for root, _dirs, files in os.walk(self.directory):
-            for name in files:
-                if name.endswith(".pkl"):
-                    try:
-                        os.unlink(os.path.join(root, name))
-                        removed += 1
-                    except OSError:
-                        pass
+        with self._advisory_lock():
+            for root, _dirs, files in os.walk(self.directory):
+                for name in files:
+                    if name.endswith(".pkl"):
+                        try:
+                            os.unlink(os.path.join(root, name))
+                            removed += 1
+                        except OSError:
+                            pass
         return removed
 
     def __len__(self) -> int:

@@ -10,6 +10,7 @@ inspect a run without re-reading the file.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from typing import Any, Dict, List, Optional
@@ -24,6 +25,11 @@ class RunJournal:
         self._lock = threading.Lock()
         self._handle = None
         if path:
+            # per-job journals live under a run directory that may not
+            # exist yet (daemon first record); create it rather than
+            # erroring
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
             self._handle = open(path, "a" if append else "w")
 
     def record(self, event: str, **fields: Any) -> Dict[str, Any]:

@@ -28,6 +28,7 @@ from .export import (
     chrome_trace_events,
     handshake_trace_events,
     phase_times,
+    prometheus_text,
     summary_report,
     write_chrome_trace,
     write_handshake_trace,
@@ -57,6 +58,7 @@ __all__ = [
     "logsetup",
     "metrics",
     "phase_times",
+    "prometheus_text",
     "read_vcd",
     "summary_report",
     "trace",

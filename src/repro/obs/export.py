@@ -254,6 +254,47 @@ def write_handshake_trace(path: str, probe) -> Dict[str, Any]:
     return document
 
 
+def _prom_name(name: str) -> str:
+    """Instrument name -> Prometheus metric name (dots to underscores)."""
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Counters map to ``counter``, gauges to ``gauge`` and fixed-bucket
+    histograms to cumulative ``_bucket{le=...}`` series plus ``_sum``
+    and ``_count`` -- enough for a scrape target on the service
+    daemon's ``/metrics?format=prometheus`` route.
+    """
+    snapshot = (registry or get_registry()).snapshot()
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in hist["buckets"].items():
+            cumulative += count
+            le = bound[2:] if bound.startswith("<=") else "+Inf"
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {hist['sum']}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
 def write_metrics(
     path: str,
     registry: Optional[MetricsRegistry] = None,

@@ -1,0 +1,347 @@
+"""The desync-as-a-service daemon: jobs in, flow results out.
+
+One :class:`ServiceDaemon` owns
+
+- a :class:`~repro.service.queue.JobQueue` of worker threads, each
+  executing one desynchronization flow per job on its own
+  :class:`~repro.engine.executor.FlowEngine`;
+- ONE shared :class:`~repro.engine.cache.ArtifactCache` threaded
+  through every per-job engine, so identical stage work is done once
+  across all jobs ever submitted (the cross-job cache-sharing model --
+  size-capped and advisory-locked, see DESIGN.md);
+- per-job JSONL journals (``<run_dir>/jobs/<id>.jsonl``, append mode)
+  plus a daemon-level journal of submissions and settlements;
+- a metrics registry re-exported over ``/metrics``: jobs by state,
+  queue depth, cache hit rate, per-stage latency histograms.
+
+Lifecycle: jobs that raise are settled ``failed`` without touching the
+daemon (crash isolation); :meth:`drain` stops intake and waits for
+in-flight flows; :meth:`install_signal_handlers` maps SIGTERM/SIGINT
+onto a graceful drain-then-stop.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import threading
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.cache import ArtifactCache
+from ..engine.executor import FlowEngine
+from ..engine.journal import RunJournal
+from ..obs import metrics as metrics_mod
+from ..obs.metrics import MetricsRegistry
+from .jobs import JobSpec, execute_job, job_key, result_payload
+from .queue import Job, JobQueue, JobState, QueueClosed, QueueFull
+
+log = logging.getLogger("repro.service")
+
+#: wall-seconds buckets for per-stage flow latency (imports are ~ms,
+#: ladder characterisation can run to minutes on big libraries)
+STAGE_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2, 5, 15, 60, 300,
+)
+
+
+class ServiceDaemon:
+    """Long-running desynchronization service over the stage engine."""
+
+    def __init__(
+        self,
+        run_dir: str = ".repro_service",
+        cache_dir: Optional[str] = None,
+        workers: int = 2,
+        flow_jobs: int = 1,
+        max_pending: Optional[int] = 256,
+        cache_max_bytes: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.run_dir = os.path.abspath(run_dir)
+        os.makedirs(self.run_dir, exist_ok=True)
+        self.cache = ArtifactCache(
+            cache_dir or os.path.join(self.run_dir, "cache"),
+            max_bytes=cache_max_bytes,
+        )
+        self.flow_jobs = max(1, int(flow_jobs))
+        self.registry = registry or MetricsRegistry()
+        self._previous_registry: Optional[MetricsRegistry] = None
+        self.journal = RunJournal(
+            os.path.join(self.run_dir, "daemon.jsonl"), append=True
+        )
+        self._lock = threading.Lock()
+        self._by_key: Dict[str, str] = {}
+        self._libraries: Dict[str, Any] = {}
+        self._closed = False
+        self.queue = JobQueue(
+            workers=workers,
+            max_pending=max_pending,
+            on_settle=self._on_settle,
+        )
+        # flow code reports through the module-level helpers; route
+        # them into this daemon's registry so /metrics sees engine
+        # cache hits and stage counters too
+        self._previous_registry = metrics_mod.get_registry()
+        metrics_mod.set_registry(self.registry)
+        self.journal.record(
+            "daemon_start",
+            run_dir=self.run_dir,
+            workers=workers,
+            flow_jobs=self.flow_jobs,
+            cache_dir=self.cache.directory,
+            cache_max_bytes=cache_max_bytes,
+        )
+
+    # -- library + journal plumbing ------------------------------------
+    def _library(self, name: str):
+        """One library object per variant, shared by every job.
+
+        Sharing the instance keeps ``library_fingerprint`` memoised and
+        the in-process ladder/STA memos warm across jobs.
+        """
+        with self._lock:
+            library = self._libraries.get(name)
+            if library is None:
+                from ..liberty.core9 import core9_hs, core9_ll
+
+                library = core9_hs() if name == "hs" else core9_ll()
+                self._libraries[name] = library
+            return library
+
+    def job_journal_path(self, job_id: str) -> str:
+        return os.path.join(self.run_dir, "jobs", f"{job_id}.jsonl")
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self, spec: JobSpec, reuse: bool = True
+    ) -> Tuple[Job, bool]:
+        """Queue one desynchronization job.
+
+        Returns ``(job, deduped)``: with ``reuse`` (the default), a
+        submission whose job key matches a queued, running or completed
+        job is answered with that job instead of flowing again.
+        ``reuse=False`` forces a fresh run -- which still shares every
+        stage artifact through the daemon cache.
+        """
+        spec.validate()
+        library = self._library(spec.library)
+        key = job_key(spec, library)
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("daemon is shut down")
+            if reuse:
+                existing_id = self._by_key.get(key)
+                existing = (
+                    self.queue.get(existing_id) if existing_id else None
+                )
+                if existing is not None and existing.state in (
+                    JobState.QUEUED,
+                    JobState.RUNNING,
+                    JobState.DONE,
+                ):
+                    self.registry.counter("service.jobs.deduped").inc()
+                    self.journal.record(
+                        "job_deduped", job=existing.id, key=key[:12]
+                    )
+                    return existing, True
+            job_id = uuid.uuid4().hex[:12]
+            self._by_key[key] = job_id
+
+        try:
+            job = self.queue.submit(
+                lambda: self._run_job(job_id, spec, library),
+                job_id=job_id,
+                priority=spec.priority,
+                timeout=spec.timeout,
+                meta={"spec": spec, "key": key},
+            )
+        except (QueueFull, QueueClosed):
+            with self._lock:
+                if self._by_key.get(key) == job_id:
+                    del self._by_key[key]
+            raise
+        self.registry.counter("service.jobs.submitted").inc()
+        self._observe_queue()
+        self.journal.record(
+            "job_submitted",
+            job=job_id,
+            key=key[:12],
+            design=spec.design or "verilog",
+            library=spec.library,
+            priority=spec.priority,
+        )
+        log.info(
+            "job %s submitted (design=%s, key=%s)",
+            job_id,
+            spec.design or "verilog",
+            key[:12],
+        )
+        return job, False
+
+    # -- execution -----------------------------------------------------
+    def _run_job(self, job_id: str, spec: JobSpec, library):
+        """Worker body: one flow run on a per-job engine + journal."""
+        journal = RunJournal(self.job_journal_path(job_id), append=True)
+        engine = FlowEngine(
+            cache=self.cache, journal=journal, jobs=self.flow_jobs
+        )
+        try:
+            result = execute_job(spec, library, engine)
+            run = engine.results[-1]
+            for record in run.records.values():
+                self.registry.histogram(
+                    f"service.stage.{record.name}",
+                    buckets=STAGE_SECONDS_BUCKETS,
+                ).observe(record.duration)
+            payload = result_payload(result, include_verilog=True)
+            payload["stages"] = {
+                "total": len(run.records),
+                "cached": len(run.cached_stages()),
+            }
+            payload["flow_wall_time"] = round(run.wall_time, 6)
+            return payload
+        finally:
+            journal.close()
+
+    def _on_settle(self, job: Job) -> None:
+        self.registry.counter(f"service.jobs.{job.state.value}").inc()
+        self._observe_queue()
+        self.journal.record(
+            "job_settled",
+            job=job.id,
+            state=job.state.value,
+            error=job.error,
+            wall_time=round(job.wall_time, 6) if job.wall_time else None,
+        )
+        if job.state is JobState.FAILED:
+            log.warning("job %s failed: %s", job.id, job.error)
+        else:
+            log.info("job %s settled: %s", job.id, job.state.value)
+
+    def _observe_queue(self) -> None:
+        counts = self.queue.counts()
+        self.registry.gauge("service.queue.depth").set(counts["depth"])
+        self.registry.gauge("service.jobs.active").set(
+            counts["running"] + counts["queued"]
+        )
+
+    # -- inspection ----------------------------------------------------
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        spec: JobSpec = job.meta["spec"]
+        status: Dict[str, Any] = {
+            "id": job.id,
+            "state": job.state.value,
+            "key": job.meta["key"],
+            "design": spec.design or "verilog",
+            "library": spec.library,
+            "priority": job.priority,
+            "cancel_requested": job.cancel_requested,
+            "submitted_at": job.submitted_at,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+            "wall_time": job.wall_time,
+            "error": job.error,
+        }
+        if job.state is JobState.DONE and isinstance(job.result, dict):
+            status["stages"] = job.result.get("stages")
+        return status
+
+    def job_result(
+        self, job_id: str, include_verilog: bool = False
+    ) -> Dict[str, Any]:
+        job = self.queue.wait(job_id, timeout=0)
+        if not job.state.terminal:
+            raise LookupError(f"job {job_id} is {job.state.value}")
+        if job.state is not JobState.DONE:
+            raise LookupError(
+                f"job {job_id} {job.state.value}: {job.error or 'no result'}"
+            )
+        payload = dict(job.result)
+        if not include_verilog:
+            payload.pop("verilog", None)
+        return payload
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return [self.job_status(job.id) for job in self.queue.jobs()]
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The ``/metrics`` document: service, cache and registry state."""
+        counts = self.queue.counts()
+        cache_stats = self.cache.stats.as_dict()
+        self.registry.gauge("service.cache.hit_rate").set(
+            cache_stats["hit_rate"]
+        )
+        return {
+            "service": {
+                "jobs": counts,
+                "accepting": self.queue.accepting,
+                "cache": cache_stats,
+                "run_dir": self.run_dir,
+            },
+            "metrics": self.registry.snapshot(),
+        }
+
+    def health(self) -> Dict[str, Any]:
+        counts = self.queue.counts()
+        return {
+            "status": "draining" if not self.queue.accepting else "ok",
+            "jobs": counts,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        return self.queue.cancel(job_id)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown step 1: finish what is queued, take no more."""
+        self.journal.record("daemon_drain")
+        log.info("draining: waiting for in-flight jobs")
+        return self.queue.drain(timeout)
+
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Drain, stop workers, close journals, restore the registry."""
+        with self._lock:
+            if self._closed:
+                return True
+            self._closed = True
+        drained = self.queue.shutdown(timeout)
+        self.journal.record("daemon_stop", drained=drained)
+        self.journal.close()
+        if self._previous_registry is not None:
+            metrics_mod.set_registry(self._previous_registry)
+            self._previous_registry = None
+        return drained
+
+    def install_signal_handlers(self, server=None) -> bool:
+        """SIGTERM/SIGINT -> drain gracefully, then stop serving.
+
+        Only possible from the main thread; returns False elsewhere.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return False
+
+        def handler(signum, _frame):
+            log.info("signal %d: graceful drain", signum)
+            threading.Thread(
+                target=self._graceful_stop, args=(server,), daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+        return True
+
+    def _graceful_stop(self, server) -> None:
+        self.close(timeout=None)
+        if server is not None:
+            server.shutdown()
+
+    def __enter__(self) -> "ServiceDaemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(timeout=10.0)

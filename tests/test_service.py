@@ -1,0 +1,514 @@
+"""Tests for the desync-as-a-service subsystem (repro.service).
+
+Covers the satellite contracts too: the job queue's ordering /
+cancellation / timeout semantics, job-key dedupe with cross-job cache
+sharing, the HTTP round trip through ``service.client``, graceful
+drain, failure isolation, ``ArtifactCache`` eviction + locking,
+``parallel_map`` item-indexed errors + backpressure, and the
+``RunJournal`` parent-directory fix.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    ArtifactCache,
+    PoolItemError,
+    RunJournal,
+    parallel_map,
+    read_journal,
+)
+from repro.service import (
+    JobError,
+    JobQueue,
+    JobSpec,
+    JobState,
+    QueueClosed,
+    QueueFull,
+    ServiceClient,
+    ServiceClientError,
+    ServiceDaemon,
+    job_key,
+    make_server,
+    options_from_dict,
+    options_to_dict,
+)
+from repro.service.jobs import resolve_module
+
+
+@pytest.fixture(scope="module")
+def hs_library():
+    from repro.liberty import core9_hs
+
+    return core9_hs()
+
+
+# ---------------------------------------------------------------------------
+# JobQueue semantics
+# ---------------------------------------------------------------------------
+
+def test_queue_runs_jobs_and_reports_states():
+    queue = JobQueue(workers=2)
+    job = queue.submit(lambda: 41 + 1, job_id="a")
+    settled = queue.wait("a", timeout=5.0)
+    assert settled is job
+    assert job.state is JobState.DONE
+    assert job.result == 42
+    assert job.wall_time is not None
+    queue.shutdown(timeout=5.0)
+
+
+def test_queue_priority_ordering():
+    """With one worker blocked, later-but-higher-priority jobs run first."""
+    queue = JobQueue(workers=1)
+    release = threading.Event()
+    order = []
+
+    queue.submit(lambda: release.wait(5.0), job_id="blocker")
+    time.sleep(0.05)  # let the worker pick up the blocker
+    for name, priority in (("low", 0), ("high", 10), ("mid", 5)):
+        queue.submit(
+            lambda n=name: order.append(n), job_id=name, priority=priority
+        )
+    release.set()
+    for name in ("low", "high", "mid"):
+        queue.wait(name, timeout=5.0)
+    assert order == ["high", "mid", "low"]
+    queue.shutdown(timeout=5.0)
+
+
+def test_queue_cancellation_of_queued_job():
+    queue = JobQueue(workers=1)
+    release = threading.Event()
+    queue.submit(lambda: release.wait(5.0), job_id="blocker")
+    time.sleep(0.05)
+    ran = []
+    queue.submit(lambda: ran.append(1), job_id="victim")
+    assert queue.cancel("victim") is True
+    release.set()
+    job = queue.wait("victim", timeout=5.0)
+    assert job.state is JobState.CANCELLED
+    queue.shutdown(timeout=5.0)
+    assert ran == []  # the cancelled body never executed
+
+
+def test_queue_cancel_running_job_only_flags_it():
+    queue = JobQueue(workers=1)
+    release = threading.Event()
+    queue.submit(lambda: release.wait(5.0), job_id="running")
+    time.sleep(0.05)
+    assert queue.cancel("running") is False
+    job = queue.get("running")
+    assert job.cancel_requested and job.state is JobState.RUNNING
+    release.set()
+    assert queue.wait("running", timeout=5.0).state is JobState.DONE
+    queue.shutdown(timeout=5.0)
+
+
+def test_queue_per_job_timeout():
+    queue = JobQueue(workers=1)
+    queue.submit(lambda: time.sleep(3.0), job_id="slow", timeout=0.1)
+    job = queue.wait("slow", timeout=5.0)
+    assert job.state is JobState.FAILED
+    assert "timeout" in job.error
+    # the worker is free again despite the abandoned thread
+    queue.submit(lambda: "ok", job_id="next")
+    assert queue.wait("next", timeout=5.0).result == "ok"
+    queue.shutdown(timeout=5.0)
+
+
+def test_queue_crash_isolation():
+    queue = JobQueue(workers=1)
+
+    def boom():
+        raise ValueError("poison")
+
+    queue.submit(boom, job_id="bad")
+    job = queue.wait("bad", timeout=5.0)
+    assert job.state is JobState.FAILED
+    assert "poison" in job.error
+    queue.submit(lambda: "alive", job_id="good")
+    assert queue.wait("good", timeout=5.0).result == "alive"
+    queue.shutdown(timeout=5.0)
+
+
+def test_queue_max_pending_backpressure():
+    queue = JobQueue(workers=1, max_pending=2)
+    release = threading.Event()
+    queue.submit(lambda: release.wait(5.0), job_id="blocker")
+    time.sleep(0.05)
+    queue.submit(lambda: None, job_id="q1")
+    queue.submit(lambda: None, job_id="q2")
+    with pytest.raises(QueueFull):
+        queue.submit(lambda: None, job_id="q3")
+    release.set()
+    queue.shutdown(timeout=5.0)
+
+
+def test_queue_drain_rejects_new_work():
+    queue = JobQueue(workers=1)
+    queue.submit(lambda: time.sleep(0.1), job_id="inflight")
+    assert queue.drain(timeout=5.0) is True
+    assert queue.get("inflight").state is JobState.DONE
+    with pytest.raises(QueueClosed):
+        queue.submit(lambda: None, job_id="late")
+    queue.shutdown(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# Job specs and keys
+# ---------------------------------------------------------------------------
+
+def small_spec(**over):
+    kwargs = dict(design="counter", params={"width": 4})
+    kwargs.update(over)
+    return JobSpec(**kwargs)
+
+
+def test_job_spec_round_trips_through_json():
+    spec = small_spec(
+        priority=3,
+        options=options_from_dict({"grouping": "single"}),
+    )
+    payload = json.loads(json.dumps(spec.to_dict()))
+    back = JobSpec.from_dict(payload)
+    assert back.design == "counter"
+    assert back.params == {"width": 4}
+    assert back.options.grouping == "single"
+    assert back.priority == 3
+
+
+def test_job_spec_validation():
+    with pytest.raises(JobError):
+        JobSpec().validate()  # neither design nor verilog
+    with pytest.raises(JobError):
+        JobSpec(design="nope").validate()
+    with pytest.raises(JobError):
+        JobSpec(design="counter", verilog="module m; endmodule").validate()
+    with pytest.raises(JobError):
+        JobSpec.from_dict({"design": "counter", "bogus": 1})
+
+
+def test_options_dict_round_trip_only_serialises_non_defaults():
+    options = options_from_dict({"delay_margin": 0.25})
+    assert options_to_dict(options) == {"delay_margin": 0.25}
+    assert options_to_dict(options_from_dict({})) == {}
+
+
+def test_job_key_ignores_scheduling_knobs(hs_library):
+    base = job_key(small_spec(), hs_library)
+    assert job_key(small_spec(priority=9, timeout=1.0), hs_library) == base
+    assert job_key(small_spec(params={"width": 5}), hs_library) != base
+    assert (
+        job_key(
+            small_spec(options=options_from_dict({"delay_margin": 0.3})),
+            hs_library,
+        )
+        != base
+    )
+
+
+def test_resolve_module_from_verilog(hs_library):
+    from repro.designs import counter
+    from repro.netlist.verilog import write_module
+
+    source = write_module(counter(hs_library, width=4))
+    module = resolve_module(JobSpec(verilog=source), hs_library)
+    assert module.name == "counter"
+
+
+# ---------------------------------------------------------------------------
+# Daemon: dedupe, cache sharing, drain, failure isolation
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def daemon(tmp_path):
+    with ServiceDaemon(run_dir=str(tmp_path / "svc"), workers=2) as svc:
+        yield svc
+
+
+def test_daemon_runs_a_job_and_journals_it(daemon):
+    job, deduped = daemon.submit(small_spec())
+    assert deduped is False
+    daemon.queue.wait(job.id, timeout=120.0)
+    assert job.state is JobState.DONE
+    result = daemon.job_result(job.id)
+    assert result["summary"]["regions"] >= 1
+    assert "verilog" not in result  # stripped unless asked for
+    assert "sdc" in result
+    # the per-job journal landed under <run_dir>/jobs/ (append mode,
+    # parent directory auto-created -- the RunJournal fix)
+    events = read_journal(daemon.job_journal_path(job.id))
+    assert any(e["event"] == "run_end" for e in events)
+
+
+def test_daemon_dedupes_identical_submissions(daemon):
+    job1, d1 = daemon.submit(small_spec())
+    job2, d2 = daemon.submit(small_spec())
+    assert (d1, d2) == (False, True)
+    assert job1.id == job2.id
+    daemon.queue.wait(job1.id, timeout=120.0)
+    # identical spec, different scheduling knobs: still the same job
+    job3, d3 = daemon.submit(small_spec(priority=5))
+    assert d3 and job3.id == job1.id
+
+
+def test_daemon_forced_rerun_is_served_from_shared_cache(daemon):
+    job1, _ = daemon.submit(small_spec())
+    daemon.queue.wait(job1.id, timeout=120.0)
+    assert job1.state is JobState.DONE
+    job2, deduped = daemon.submit(small_spec(), reuse=False)
+    assert deduped is False and job2.id != job1.id
+    daemon.queue.wait(job2.id, timeout=120.0)
+    stages = daemon.job_result(job2.id)["stages"]
+    assert stages["cached"] == stages["total"]  # one flow run, replayed
+    assert daemon.cache.stats.hits >= stages["total"]
+
+
+def test_daemon_failure_isolation(daemon):
+    poison, _ = daemon.submit(
+        JobSpec(design="dlx", params={"bogus": 1})
+    )
+    daemon.queue.wait(poison.id, timeout=120.0)
+    assert poison.state is JobState.FAILED
+    assert "bogus" in poison.error
+    with pytest.raises(LookupError):
+        daemon.job_result(poison.id)
+    ok, _ = daemon.submit(small_spec())
+    daemon.queue.wait(ok.id, timeout=120.0)
+    assert ok.state is JobState.DONE
+
+
+def test_daemon_graceful_drain(tmp_path):
+    daemon = ServiceDaemon(run_dir=str(tmp_path / "svc"), workers=1)
+    try:
+        job, _ = daemon.submit(small_spec())
+        assert daemon.drain(timeout=120.0) is True
+        assert job.state is JobState.DONE
+        with pytest.raises(QueueClosed):
+            daemon.submit(small_spec(params={"width": 6}))
+        assert daemon.health()["status"] == "draining"
+    finally:
+        daemon.close(timeout=10.0)
+    events = read_journal(os.path.join(daemon.run_dir, "daemon.jsonl"))
+    assert [e["event"] for e in events][-1] == "daemon_stop"
+
+
+def test_daemon_metrics_snapshot(daemon):
+    job, _ = daemon.submit(small_spec())
+    daemon.queue.wait(job.id, timeout=120.0)
+    snapshot = daemon.metrics_snapshot()
+    assert snapshot["service"]["jobs"]["done"] == 1
+    counters = snapshot["metrics"]["counters"]
+    assert counters["service.jobs.submitted"] == 1
+    assert counters["service.jobs.done"] == 1
+    stage_histograms = [
+        name
+        for name in snapshot["metrics"]["histograms"]
+        if name.startswith("service.stage.")
+    ]
+    assert "service.stage.network" in stage_histograms
+
+
+# ---------------------------------------------------------------------------
+# HTTP round trip via service.client
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def service(tmp_path):
+    daemon = ServiceDaemon(run_dir=str(tmp_path / "svc"), workers=2)
+    server = make_server(daemon).start_background()
+    client = ServiceClient(server.url)
+    yield daemon, server, client
+    server.stop()
+    daemon.close(timeout=10.0)
+
+
+def test_http_submit_status_result_round_trip(service):
+    _daemon, _server, client = service
+    assert client.health()["status"] == "ok"
+    ticket = client.submit(small_spec())
+    status = client.wait(ticket["id"], timeout=120.0)
+    assert status["state"] == "done"
+    result = client.result(ticket["id"], include_verilog=True)
+    assert result["summary"]["flip_flops_replaced"] == 4
+    assert "module counter" in result["verilog"]
+    # second identical submission dedupes over the wire
+    again = client.submit(small_spec())
+    assert again["deduped"] is True and again["id"] == ticket["id"]
+    listing = client.jobs()["jobs"]
+    assert [j["id"] for j in listing] == [ticket["id"]]
+
+
+def test_http_error_mapping(service):
+    _daemon, _server, client = service
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.status("feedfacecafe")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.submit({"design": "not-a-design"})
+    assert excinfo.value.status == 400
+    ticket = client.submit(small_spec())
+    client.wait(ticket["id"], timeout=120.0)
+    poison = client.submit({"design": "dlx", "params": {"bogus": 1}})
+    assert client.wait(poison["id"], timeout=120.0)["state"] == "failed"
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.result(poison["id"])
+    assert excinfo.value.status == 409
+
+
+def test_http_metrics_and_prometheus(service):
+    _daemon, _server, client = service
+    ticket = client.submit(small_spec())
+    client.wait(ticket["id"], timeout=120.0)
+    snapshot = client.metrics()
+    assert snapshot["service"]["jobs"]["done"] == 1
+    import urllib.request
+
+    text = (
+        urllib.request.urlopen(
+            _server.url + "/metrics?format=prometheus", timeout=10
+        )
+        .read()
+        .decode()
+    )
+    assert "service_jobs_done 1" in text
+    assert "service_stage_network_count" in text
+
+
+def test_http_shutdown_drains(service):
+    daemon, server, client = service
+    ticket = client.submit(small_spec())
+    client.wait(ticket["id"], timeout=120.0)
+    client.shutdown()
+    deadline = time.monotonic() + 10.0
+    while daemon.queue.accepting and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not daemon.queue.accepting
+
+
+# ---------------------------------------------------------------------------
+# ArtifactCache satellite: eviction + advisory lock
+# ---------------------------------------------------------------------------
+
+def test_cache_lru_eviction_under_max_bytes(tmp_path):
+    blob = os.urandom(1500)  # below INLINE_LIMIT: single manifest file
+    probe = ArtifactCache(str(tmp_path / "probe"))
+    probe.put("00" + "e" * 62, {"blob": blob})
+    per_entry = probe.size_bytes()
+    # room for four entries but not five
+    cache = ArtifactCache(
+        str(tmp_path / "cache"), max_bytes=int(per_entry * 4.5)
+    )
+    for index in range(4):
+        assert cache.put(f"{index:02d}{'e' * 62}", {"blob": blob})
+        time.sleep(0.02)  # distinct mtimes
+    assert cache.stats.evictions == 0
+    # keep entry 0 warm so eviction (triggered by storing 4) drops 1
+    assert cache.get(f"00{'e' * 62}") is not None
+    time.sleep(0.02)
+    assert cache.put(f"04{'e' * 62}", {"blob": blob})
+    assert cache.stats.evictions >= 1
+    assert cache.size_bytes() <= int(per_entry * 4.5)
+    assert cache.get(f"01{'e' * 62}") is None  # the cold entry went
+    assert cache.get(f"00{'e' * 62}") is not None  # the warm one stayed
+    assert cache.get(f"04{'e' * 62}") is not None  # newest protected
+
+
+def test_cache_eviction_removes_sidecars_with_manifest(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "cache"), max_bytes=100_000)
+    big = os.urandom(60_000)  # above INLINE_LIMIT: manifest + sidecar
+    cache.put("aa" + "a" * 62, {"big": big})
+    time.sleep(0.02)
+    cache.put("bb" + "b" * 62, {"big": big})
+    assert cache.get("aa" + "a" * 62) is None
+    assert cache.get("bb" + "b" * 62)["big"] == big
+    # no orphan sidecar files survive the eviction
+    leftovers = [
+        name
+        for _root, _dirs, files in os.walk(cache.directory)
+        for name in files
+        if name.startswith("aa")
+    ]
+    assert leftovers == []
+
+
+def test_cache_advisory_lock_file_created(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "cache"))
+    cache.put("cc" + "c" * 62, {"x": 1})
+    assert os.path.exists(os.path.join(cache.directory, ".lock"))
+    assert cache.get("cc" + "c" * 62) == {"x": 1}
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_unbounded_never_evicts(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "cache"))
+    for index in range(5):
+        cache.put(f"{index:02d}" + "f" * 62, {"v": index})
+    assert cache.stats.evictions == 0
+    assert len(cache) == 5
+
+
+# ---------------------------------------------------------------------------
+# parallel_map satellite: indexed errors + max_pending
+# ---------------------------------------------------------------------------
+
+def _fail_on_seven(n):
+    if n == 7:
+        raise ValueError("seven is right out")
+    return n * n
+
+
+def test_parallel_map_serial_path_names_the_failing_item():
+    with pytest.raises(PoolItemError) as excinfo:
+        parallel_map(_fail_on_seven, range(10), jobs=1)
+    assert excinfo.value.index == 7
+    assert "item 7" in str(excinfo.value)
+    assert isinstance(excinfo.value.original, ValueError)
+
+
+def test_parallel_map_pool_path_names_the_failing_item():
+    with pytest.raises(PoolItemError) as excinfo:
+        parallel_map(_fail_on_seven, range(10), jobs=4)
+    assert excinfo.value.index == 7
+    assert "seven is right out" in str(excinfo.value)
+
+
+def _square(n):
+    return n * n
+
+
+def test_parallel_map_max_pending_matches_default_path():
+    items = list(range(30))
+    expected = [n * n for n in items]
+    assert parallel_map(_square, items, jobs=4) == expected
+    assert parallel_map(_square, items, jobs=4, max_pending=3) == expected
+    assert parallel_map(_square, items, jobs=1, max_pending=3) == expected
+
+
+def test_parallel_map_max_pending_propagates_item_errors():
+    with pytest.raises(PoolItemError) as excinfo:
+        parallel_map(_fail_on_seven, range(10), jobs=4, max_pending=2)
+    assert excinfo.value.index == 7
+
+
+# ---------------------------------------------------------------------------
+# RunJournal satellite: parent directory creation
+# ---------------------------------------------------------------------------
+
+def test_journal_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "jobs" / "j1.jsonl"
+    journal = RunJournal(str(path), append=True)
+    journal.record("hello", n=1)
+    journal.close()
+    assert read_journal(str(path))[0]["event"] == "hello"
+    # append mode really appends across reopens
+    journal2 = RunJournal(str(path), append=True)
+    journal2.record("again", n=2)
+    journal2.close()
+    assert [e["event"] for e in read_journal(str(path))] == ["hello", "again"]
