@@ -75,7 +75,7 @@ EXIT_USAGE = 1
 EXIT_FLOW = 2
 
 #: first-argument verbs routed to :mod:`repro.service.cli`
-SERVICE_COMMANDS = ("serve", "submit", "status", "cancel", "shutdown")
+SERVICE_COMMANDS = ("serve", "submit", "status", "trace", "cancel", "shutdown")
 
 log = logging.getLogger("repro.cli")
 

@@ -251,6 +251,10 @@ class _RunState:
         self.engine = engine
         self.graph = graph
         self.label = label
+        # the effective tracer at run entry (a service job's scoped
+        # per-job tracer, or the process singleton); pool threads
+        # re-activate it so parallel stages trace into the right tree
+        self.tracer = trace.get_tracer()
         self.order = graph.topological_order()
         self.artifacts: ArtifactMap = ArtifactMap(initial)
         self.records: Dict[str, StageRecord] = {}
@@ -347,28 +351,29 @@ class _RunState:
         """Run the stage with its retry policy; returns (outputs, tries)."""
         attempts = 0
         retries = max(stage.retries, self.engine.default_retries)
-        while True:
-            attempts += 1
-            try:
-                with self.lock:
-                    inputs = {k: self.artifacts[k] for k in stage.inputs}
-                # the stage span roots the trace subtree for everything
-                # the stage function does: in-stage instrumentation
-                # (grouping, DDG, STA, ...) nests under it, so engine
-                # timings and fine-grained spans share one trace tree
-                with trace.span(
-                    "stage:" + stage.name,
-                    stage=stage.name,
-                    graph=self.graph.name,
-                    attempt=attempts,
-                ):
-                    outputs = stage.call(inputs)
-                return outputs, attempts
-            except Exception as exc:
-                metrics.counter("engine.stage.errors").inc()
-                if attempts > retries:
-                    exc.__engine_attempts__ = attempts  # type: ignore[attr-defined]
-                    raise
+        with trace.scoped(self.tracer):
+            while True:
+                attempts += 1
+                try:
+                    with self.lock:
+                        inputs = {k: self.artifacts[k] for k in stage.inputs}
+                    # the stage span roots the trace subtree for everything
+                    # the stage function does: in-stage instrumentation
+                    # (grouping, DDG, STA, ...) nests under it, so engine
+                    # timings and fine-grained spans share one trace tree
+                    with trace.span(
+                        "stage:" + stage.name,
+                        stage=stage.name,
+                        graph=self.graph.name,
+                        attempt=attempts,
+                    ):
+                        outputs = stage.call(inputs)
+                    return outputs, attempts
+                except Exception as exc:
+                    metrics.counter("engine.stage.errors").inc()
+                    if attempts > retries:
+                        exc.__engine_attempts__ = attempts  # type: ignore[attr-defined]
+                        raise
 
     def process_stage_inline(self, stage: Stage) -> None:
         """Serial path: begin, run on the calling thread, settle."""

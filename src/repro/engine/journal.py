@@ -17,10 +17,25 @@ from typing import Any, Dict, List, Optional
 
 
 class RunJournal:
-    """Append-only event log, optionally persisted to a JSONL file."""
+    """Append-only event log, optionally persisted to a JSONL file.
 
-    def __init__(self, path: Optional[str] = None, append: bool = False):
+    ``trace_id`` stamps every recorded event with the identity of the
+    work the journal belongs to (the service daemon passes the job's
+    trace ID), so journal lines, exported trace events and HTTP
+    tickets correlate on one key.  Records are serialised under the
+    journal lock and written as one ``write`` call per line, so
+    concurrent writers -- a per-job tracer mirroring spans from
+    several engine pool threads -- can never interleave partial lines.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        append: bool = False,
+        trace_id: Optional[str] = None,
+    ):
         self.path = path
+        self.trace_id = trace_id
         self.events: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
         self._handle = None
@@ -32,21 +47,30 @@ class RunJournal:
             os.makedirs(parent, exist_ok=True)
             self._handle = open(path, "a" if append else "w")
 
-    def record(self, event: str, **fields: Any) -> Dict[str, Any]:
+    def record(
+        self, event: str, _flush: bool = True, **fields: Any
+    ) -> Dict[str, Any]:
         """Record one event; returns the stamped entry.
 
         Recording after :meth:`close` keeps accepting events in memory
         -- late writers (a timed-out stage's abandoned worker thread,
         an exporter flushing after the run) must not crash on the
         closed file handle.
+
+        ``_flush=False`` skips the per-line flush for high-rate,
+        loss-tolerant events (span mirroring); buffered lines still
+        land on :meth:`close` or at the next flushed record.
         """
         entry: Dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
+        if self.trace_id is not None:
+            entry["trace_id"] = self.trace_id
         entry.update(fields)
         with self._lock:
             self.events.append(entry)
             if self._handle is not None and not self._handle.closed:
                 self._handle.write(json.dumps(entry, default=str) + "\n")
-                self._handle.flush()
+                if _flush:
+                    self._handle.flush()
         return entry
 
     def select(self, event: Optional[str] = None, **filters: Any):

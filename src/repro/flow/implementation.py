@@ -471,7 +471,8 @@ def compare_implementations(
     desync: ImplementationResult,
 ) -> ComparisonTable:
     """Assemble the Table 5.1 / 5.2 comparison."""
-    table = ComparisonTable(design_name)
+    trace_id = getattr(trace.get_tracer(), "trace_id", None)
+    table = ComparisonTable(design_name, trace_id=trace_id)
     table.add_phase("Post Synthesis", sync.post_synthesis, desync.post_synthesis)
     if sync.post_layout and desync.post_layout:
         table.add_phase("Post Layout", sync.post_layout, desync.post_layout)

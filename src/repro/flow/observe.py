@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..desync.tool import DesyncResult
 from ..liberty.model import Library
+from ..obs import trace as trace_mod
 from ..obs.vcd import VcdWriter
 from ..sim.probes import DeadlockWatchdog, HandshakeProbe, handshake_report
 from ..sim.simulator import SimulationError, Simulator
@@ -118,6 +119,12 @@ def observe_handshake(
     )
     if error is not None:
         report["error"] = error
+    # correlate the report with the surrounding run: when this
+    # observation happens inside a traced job (the service daemon
+    # scopes a per-job tracer around execute_job), stamp its trace ID
+    trace_id = getattr(trace_mod.get_tracer(), "trace_id", None)
+    if trace_id is not None:
+        report["trace_id"] = trace_id
     return ObservationResult(
         simulator=simulator,
         probe=probe,

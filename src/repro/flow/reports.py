@@ -85,12 +85,18 @@ def overhead(sync_value: float, desync_value: float) -> float:
 
 @dataclass
 class ComparisonTable:
-    """Sync vs desync comparison in the Table 5.1 / 5.2 layout."""
+    """Sync vs desync comparison in the Table 5.1 / 5.2 layout.
+
+    ``trace_id`` ties the table to the run that produced it (the
+    service daemon stamps each job's trace ID), so a report artifact
+    can be correlated back to its journal lines and exported spans.
+    """
 
     design: str
     phases: Dict[str, Dict[str, Dict[str, float]]] = field(
         default_factory=dict
     )
+    trace_id: Optional[str] = None
 
     def add_phase(
         self, phase: str, sync: AreaReport, desync: AreaReport
@@ -110,8 +116,19 @@ class ComparisonTable:
             }
         self.phases[phase] = rows
 
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "design": self.design,
+            "phases": self.phases,
+        }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
+
     def to_text(self) -> str:
         lines = [f"== {self.design}: synchronous vs desynchronized =="]
+        if self.trace_id is not None:
+            lines.append(f"trace: {self.trace_id}")
         for phase, rows in self.phases.items():
             lines.append(f"-- {phase} --")
             lines.append(

@@ -22,7 +22,7 @@ that state; the CLI's ``--trace`` / ``--metrics`` flags (or an explicit
     write_metrics("metrics.json")
 """
 
-from . import export, logsetup, metrics, trace, vcd
+from . import export, logsetup, metrics, timeseries, trace, vcd
 from .export import (
     aggregate_spans,
     chrome_trace_events,
@@ -30,12 +30,19 @@ from .export import (
     phase_times,
     prometheus_text,
     summary_report,
+    trace_document,
     write_chrome_trace,
     write_handshake_trace,
     write_metrics,
 )
 from .logsetup import configure_logging, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NS_BUCKETS
+from .timeseries import (
+    RingBuffer,
+    TimeSeriesSampler,
+    TimeSeriesStore,
+    quantile_from_buckets,
+)
 from .trace import NULL_SPAN, Span, Tracer
 from .vcd import VcdWriter, read_vcd
 
@@ -46,7 +53,10 @@ __all__ = [
     "MetricsRegistry",
     "NS_BUCKETS",
     "NULL_SPAN",
+    "RingBuffer",
     "Span",
+    "TimeSeriesSampler",
+    "TimeSeriesStore",
     "Tracer",
     "VcdWriter",
     "aggregate_spans",
@@ -59,9 +69,12 @@ __all__ = [
     "metrics",
     "phase_times",
     "prometheus_text",
+    "quantile_from_buckets",
     "read_vcd",
     "summary_report",
+    "timeseries",
     "trace",
+    "trace_document",
     "vcd",
     "write_chrome_trace",
     "write_handshake_trace",

@@ -33,6 +33,7 @@ def chrome_trace_events(tracer: Optional[Tracer] = None) -> List[Dict[str, Any]]
     """Finished spans as a list of Chrome trace-event dicts."""
     tracer = tracer or get_tracer()
     pid = os.getpid()
+    trace_id = getattr(tracer, "trace_id", None)
     events: List[Dict[str, Any]] = []
     thread_names: Dict[int, str] = {}
     for span in tracer.finished():
@@ -46,8 +47,11 @@ def chrome_trace_events(tracer: Optional[Tracer] = None) -> List[Dict[str, Any]]
             "pid": pid,
             "tid": span.thread_id,
         }
-        if span.attrs:
-            event["args"] = {k: _jsonable(v) for k, v in span.attrs.items()}
+        if span.attrs or trace_id is not None:
+            args = {k: _jsonable(v) for k, v in span.attrs.items()}
+            if trace_id is not None:
+                args["trace_id"] = trace_id
+            event["args"] = args
         events.append(event)
     for tid, name in sorted(thread_names.items()):
         events.append(
@@ -68,13 +72,31 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
-def write_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> Dict[str, Any]:
-    """Write the tracer's spans as a Chrome trace-event JSON file."""
-    document = {
+def trace_document(tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """A tracer's spans as one Perfetto-loadable trace-event document.
+
+    ``otherData`` carries the tracer's ``trace_id`` and dropped-span
+    count when present, so a service trace names the job it belongs to
+    and admits when its ring buffer clipped history.
+    """
+    tracer = tracer or get_tracer()
+    other: Dict[str, Any] = {"producer": "repro.obs"}
+    trace_id = getattr(tracer, "trace_id", None)
+    if trace_id is not None:
+        other["trace_id"] = trace_id
+    dropped = getattr(tracer, "dropped", 0)
+    if dropped:
+        other["dropped_spans"] = dropped
+    return {
         "traceEvents": chrome_trace_events(tracer),
         "displayTimeUnit": "ms",
-        "otherData": {"producer": "repro.obs"},
+        "otherData": other,
     }
+
+
+def write_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """Write the tracer's spans as a Chrome trace-event JSON file."""
+    document = trace_document(tracer)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=1)
         handle.write("\n")
@@ -261,37 +283,71 @@ def _prom_name(name: str) -> str:
     )
 
 
+def _labelled(metric: str, label_body: Optional[str], extra: str = "") -> str:
+    """``metric{labels,extra}`` with either part optional."""
+    body = ",".join(part for part in (label_body, extra) if part)
+    return f"{metric}{{{body}}}" if body else metric
+
+
 def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     """Render a registry snapshot in Prometheus text exposition format.
 
-    Counters map to ``counter``, gauges to ``gauge`` and fixed-bucket
+    Emits ``# HELP`` (from :meth:`MetricsRegistry.describe`, with a
+    generic fallback) and ``# TYPE`` lines once per metric family;
+    counters map to ``counter``, gauges to ``gauge`` and fixed-bucket
     histograms to cumulative ``_bucket{le=...}`` series plus ``_sum``
-    and ``_count`` -- enough for a scrape target on the service
-    daemon's ``/metrics?format=prometheus`` route.
+    and ``_count``.  Labelled instruments (``repro_jobs{state=
+    "queued"}``) group under one family header, so the output is
+    scrapeable by a real Prometheus, not just greppable.
     """
-    snapshot = (registry or get_registry()).snapshot()
+    from .metrics import split_name
+
+    registry = registry or get_registry()
+    snapshot = registry.snapshot()
+    help_texts = (
+        registry.help_texts() if hasattr(registry, "help_texts") else {}
+    )
     lines: List[str] = []
+    seen_families: set = set()
+
+    def family_header(base: str, kind: str) -> None:
+        metric = _prom_name(base)
+        if metric in seen_families:
+            return
+        seen_families.add(metric)
+        help_text = help_texts.get(base, f"repro metric {base}")
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+
     for name, value in snapshot.get("counters", {}).items():
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
+        base, label_body = split_name(name)
+        family_header(base, "counter")
+        lines.append(f"{_labelled(_prom_name(base), label_body)} {value}")
     for name, value in snapshot.get("gauges", {}).items():
         if value is None:
             continue
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {value}")
+        base, label_body = split_name(name)
+        family_header(base, "gauge")
+        lines.append(f"{_labelled(_prom_name(base), label_body)} {value}")
     for name, hist in snapshot.get("histograms", {}).items():
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} histogram")
+        base, label_body = split_name(name)
+        family_header(base, "histogram")
+        metric = _prom_name(base)
         cumulative = 0
         for bound, count in hist["buckets"].items():
+            if not bound.startswith("<="):
+                continue  # the overflow bucket folds into +Inf below
             cumulative += count
-            le = bound[2:] if bound.startswith("<=") else "+Inf"
-            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
-        lines.append(f"{metric}_sum {hist['sum']}")
-        lines.append(f"{metric}_count {hist['count']}")
+            bucket = _labelled(
+                f"{metric}_bucket", label_body, f'le="{bound[2:]}"'
+            )
+            lines.append(f"{bucket} {cumulative}")
+        bucket = _labelled(f"{metric}_bucket", label_body, 'le="+Inf"')
+        lines.append(f'{bucket} {hist["count"]}')
+        lines.append(f"{_labelled(metric + '_sum', label_body)} {hist['sum']}")
+        lines.append(
+            f"{_labelled(metric + '_count', label_body)} {hist['count']}"
+        )
     return "\n".join(lines) + "\n"
 
 

@@ -15,6 +15,14 @@ module-level helpers then return shared no-op instruments, so
 instrumented code pays one lookup and one ``if``.  A registry snapshot
 serialises to plain JSON (:meth:`MetricsRegistry.snapshot`, exported
 by :func:`repro.obs.export.write_metrics`).
+
+Instruments may carry **labels** -- ``registry.gauge("repro.jobs",
+labels={"state": "queued"})`` -- which keep one logical metric per
+dimension value the way Prometheus expects (``repro_jobs{state=
+"queued"}``); the snapshot keys labelled instruments as
+``name{k="v",...}`` with labels sorted.  :meth:`MetricsRegistry.
+describe` attaches a ``# HELP`` string the Prometheus exposition
+emits.
 """
 
 from __future__ import annotations
@@ -36,13 +44,32 @@ NS_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def render_name(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """Instrument key: ``name`` or ``name{k="v",...}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def split_name(rendered: str) -> Tuple[str, Optional[str]]:
+    """The inverse of :func:`render_name`: ``(base, label_body_or_None)``."""
+    if rendered.endswith("}") and "{" in rendered:
+        base, _, body = rendered.partition("{")
+        return base, body[:-1]
+    return rendered, None
+
+
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None):
         self.name = name
+        self.labels = dict(labels or {})
         self._value = 0
         self._lock = threading.Lock()
 
@@ -61,10 +88,11 @@ class Counter:
 class Gauge:
     """Last-written value."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None):
         self.name = name
+        self.labels = dict(labels or {})
         self._value: Optional[float] = None
         self._lock = threading.Lock()
 
@@ -88,13 +116,19 @@ class Histogram:
     bound lands in the overflow bucket.
     """
 
-    __slots__ = ("name", "bounds", "counts", "overflow",
+    __slots__ = ("name", "labels", "bounds", "counts", "overflow",
                  "count", "total", "min", "max", "_lock")
 
-    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
+    ):
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError(f"histogram {name!r} needs sorted bucket bounds")
         self.name = name
+        self.labels = dict(labels or {})
         self.bounds: Tuple[float, ...] = tuple(buckets)
         self.counts = [0] * len(self.bounds)
         self.overflow = 0
@@ -162,40 +196,60 @@ class MetricsRegistry:
         self.enabled = enabled
         self._lock = threading.Lock()
         self._instruments: Dict[str, Any] = {}
+        self._help: Dict[str, str] = {}
 
-    def _get(self, name: str, factory):
+    def _get(self, key: str, factory):
         with self._lock:
-            instrument = self._instruments.get(name)
+            instrument = self._instruments.get(key)
             if instrument is None:
                 instrument = factory()
-                self._instruments[name] = instrument
+                self._instruments[key] = instrument
             return instrument
 
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
         if not self.enabled:
             return NULL_INSTRUMENT  # type: ignore[return-value]
-        instrument = self._get(name, lambda: Counter(name))
+        key = render_name(name, labels)
+        instrument = self._get(key, lambda: Counter(name, labels))
         if not isinstance(instrument, Counter):
             raise TypeError(f"metric {name!r} is a {type(instrument).__name__}")
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
         if not self.enabled:
             return NULL_INSTRUMENT  # type: ignore[return-value]
-        instrument = self._get(name, lambda: Gauge(name))
+        key = render_name(name, labels)
+        instrument = self._get(key, lambda: Gauge(name, labels))
         if not isinstance(instrument, Gauge):
             raise TypeError(f"metric {name!r} is a {type(instrument).__name__}")
         return instrument
 
     def histogram(
-        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
     ) -> Histogram:
         if not self.enabled:
             return NULL_INSTRUMENT  # type: ignore[return-value]
-        instrument = self._get(name, lambda: Histogram(name, buckets))
+        key = render_name(name, labels)
+        instrument = self._get(key, lambda: Histogram(name, buckets, labels))
         if not isinstance(instrument, Histogram):
             raise TypeError(f"metric {name!r} is a {type(instrument).__name__}")
         return instrument
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` string to a (base, unlabelled) metric name."""
+        with self._lock:
+            self._help[name] = help_text
+
+    def help_texts(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._help)
 
     def snapshot(self) -> Dict[str, Any]:
         """All instruments as one JSON-serialisable document."""
@@ -239,16 +293,20 @@ def reset_registry() -> MetricsRegistry:
     return set_registry(MetricsRegistry(enabled=False))
 
 
-def counter(name: str) -> Counter:
-    return _active.counter(name)
+def counter(name: str, labels: Optional[Dict[str, str]] = None) -> Counter:
+    return _active.counter(name, labels)
 
 
-def gauge(name: str) -> Gauge:
-    return _active.gauge(name)
+def gauge(name: str, labels: Optional[Dict[str, str]] = None) -> Gauge:
+    return _active.gauge(name, labels)
 
 
-def histogram(name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-    return _active.histogram(name, buckets)
+def histogram(
+    name: str,
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+    labels: Optional[Dict[str, str]] = None,
+) -> Histogram:
+    return _active.histogram(name, buckets, labels)
 
 
 def enabled() -> bool:

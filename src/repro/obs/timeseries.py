@@ -1,0 +1,347 @@
+"""Ring-buffer time series sampled from a :class:`MetricsRegistry`.
+
+The metrics registry answers "what is the value *now*"; a long-running
+service needs "how has it moved" -- request rates, queue depth over the
+last ten minutes, the p95 of job latency as traffic shifts.  This
+module derives exactly that from periodic registry snapshots without
+retaining raw observations:
+
+- every **counter** becomes a ``<name>.rate`` series (increments per
+  second between consecutive samples);
+- every **gauge** becomes a ``<name>`` sample series;
+- every **histogram** becomes ``<name>.rate`` (observations/s) plus
+  streaming ``<name>.p50`` / ``.p95`` / ``.p99`` quantile series,
+  estimated by linear interpolation over the *delta* of the cumulative
+  bucket counts -- i.e. the quantiles of what happened **in the
+  sampling window**, not since process start.
+
+Each series is a fixed-capacity ring buffer of ``(ts, value)`` points
+(:class:`RingBuffer`), so memory stays flat forever: a daemon sampling
+every 2 s with the default capacity of 600 points holds 20 minutes of
+history per series and not a byte more.  :class:`TimeSeriesSampler`
+is the daemon-side background thread driving :meth:`TimeSeriesStore.
+sample` on an interval; ``/timeseries`` serves
+:meth:`TimeSeriesStore.as_dict`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "RingBuffer",
+    "Series",
+    "TimeSeriesSampler",
+    "TimeSeriesStore",
+    "quantile_from_buckets",
+]
+
+#: quantiles derived for every histogram instrument
+QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+#: default points retained per series
+DEFAULT_CAPACITY = 600
+
+
+class RingBuffer:
+    """Fixed-capacity ``(ts, value)`` ring; oldest points overwritten.
+
+    Appends (the sampler thread) and snapshots (HTTP handler threads)
+    are serialised by a per-ring lock, so a scrape mid-append can never
+    observe a torn or out-of-order window.
+    """
+
+    __slots__ = ("capacity", "_points", "_start", "_count", "dropped", "_lock")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._points: List[Optional[Tuple[float, float]]] = (
+            [None] * self.capacity
+        )
+        self._start = 0
+        self._count = 0
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def append(self, ts: float, value: float) -> None:
+        with self._lock:
+            if self._count < self.capacity:
+                index = (self._start + self._count) % self.capacity
+                self._points[index] = (ts, value)
+                self._count += 1
+            else:
+                self._points[self._start] = (ts, value)
+                self._start = (self._start + 1) % self.capacity
+                self.dropped += 1
+
+    def points(self) -> List[Tuple[float, float]]:
+        """Snapshot oldest-first."""
+        with self._lock:
+            return [
+                self._points[(self._start + offset) % self.capacity]  # type: ignore[misc]
+                for offset in range(self._count)
+            ]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        with self._lock:
+            if self._count == 0:
+                return None
+            return self._points[
+                (self._start + self._count - 1) % self.capacity
+            ]
+
+    def since(self, ts: float) -> List[Tuple[float, float]]:
+        """Points with timestamp >= ``ts`` (SLO evaluation windows)."""
+        return [point for point in self.points() if point[0] >= ts]
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class Series:
+    """One named ring-buffered series with a kind tag for the UI."""
+
+    __slots__ = ("name", "kind", "unit", "ring")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str = "gauge",
+        unit: str = "",
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        self.name = name
+        self.kind = kind  # "rate" | "gauge" | "quantile"
+        self.unit = unit
+        self.ring = RingBuffer(capacity)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "capacity": self.ring.capacity,
+            "dropped": self.ring.dropped,
+            "points": [
+                [round(ts, 3), _round(value)] for ts, value in self.ring.points()
+            ],
+        }
+
+
+def _round(value: float) -> float:
+    return round(value, 6)
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[float],
+    overflow: float,
+    q: float,
+) -> Optional[float]:
+    """Estimate the ``q`` quantile of a fixed-bucket histogram delta.
+
+    Linear interpolation inside the bucket the quantile rank lands in
+    (lower edge = previous bound, or 0 for the first bucket); overflow
+    observations clamp to the last bound -- the estimate can never
+    exceed what the histogram can resolve.  Returns ``None`` for an
+    empty window.
+    """
+    total = sum(counts) + overflow
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    previous_bound = 0.0
+    for bound, count in zip(bounds, counts):
+        if count > 0:
+            if cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return previous_bound + fraction * (bound - previous_bound)
+            cumulative += count
+        previous_bound = bound
+    return float(bounds[-1])
+
+
+class TimeSeriesStore:
+    """Named ring-buffer series plus the snapshot-delta sampling logic."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._series: Dict[str, Series] = {}
+        self._last_snapshot: Optional[Dict[str, Any]] = None
+        self._last_ts: Optional[float] = None
+        self.samples = 0
+
+    def series(
+        self, name: str, kind: str = "gauge", unit: str = ""
+    ) -> Series:
+        with self._lock:
+            entry = self._series.get(name)
+            if entry is None:
+                entry = Series(name, kind, unit, self.capacity)
+                self._series[name] = entry
+            return entry
+
+    def get(self, name: str) -> Optional[Series]:
+        with self._lock:
+            return self._series.get(name)
+
+    def record(
+        self, name: str, value: float, ts: Optional[float] = None,
+        kind: str = "gauge", unit: str = "",
+    ) -> None:
+        """Append one point directly (outside the registry sampling)."""
+        self.series(name, kind, unit).ring.append(
+            time.time() if ts is None else ts, value
+        )
+
+    # -- sampling ------------------------------------------------------
+    def sample(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Fold one registry snapshot into the series; returns #points.
+
+        The first call only primes the delta state (rates need two
+        snapshots); every later call appends one point per derived
+        series.
+        """
+        registry = registry or get_registry()
+        now = time.time() if now is None else now
+        snapshot = registry.snapshot()
+        appended = 0
+        previous, previous_ts = self._last_snapshot, self._last_ts
+        self._last_snapshot, self._last_ts = snapshot, now
+        self.samples += 1
+
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is None:
+                continue
+            self.series(name, kind="gauge").ring.append(now, float(value))
+            appended += 1
+
+        if previous is None or previous_ts is None:
+            return appended
+        dt = now - previous_ts
+        if dt <= 0:
+            return appended
+
+        previous_counters = previous.get("counters", {})
+        for name, value in snapshot.get("counters", {}).items():
+            before = previous_counters.get(name, 0)
+            rate = max(0.0, (value - before) / dt)
+            self.series(f"{name}.rate", kind="rate", unit="/s").ring.append(
+                now, rate
+            )
+            appended += 1
+
+        previous_histograms = previous.get("histograms", {})
+        for name, hist in snapshot.get("histograms", {}).items():
+            before = previous_histograms.get(name)
+            delta_counts, delta_overflow, bounds = _bucket_delta(hist, before)
+            count_before = before["count"] if before else 0
+            rate = max(0.0, (hist["count"] - count_before) / dt)
+            self.series(f"{name}.rate", kind="rate", unit="/s").ring.append(
+                now, rate
+            )
+            appended += 1
+            for q in QUANTILES:
+                estimate = quantile_from_buckets(
+                    bounds, delta_counts, delta_overflow, q
+                )
+                if estimate is None:
+                    continue
+                label = f"{name}.p{int(q * 100)}"
+                self.series(label, kind="quantile").ring.append(now, estimate)
+                appended += 1
+        return appended
+
+    # -- export --------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            items = sorted(self._series.items())
+        return {
+            "capacity": self.capacity,
+            "samples": self.samples,
+            "series": {name: series.as_dict() for name, series in items},
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+
+def _bucket_delta(
+    hist: Dict[str, Any], before: Optional[Dict[str, Any]]
+) -> Tuple[List[float], float, List[float]]:
+    """Per-bucket observation counts landed between two snapshots."""
+    bounds: List[float] = []
+    deltas: List[float] = []
+    overflow = 0.0
+    previous_buckets = (before or {}).get("buckets", {})
+    for key, count in hist["buckets"].items():
+        delta = count - previous_buckets.get(key, 0)
+        if key.startswith("<="):
+            bounds.append(float(key[2:]))
+            deltas.append(max(0.0, delta))
+        else:  # the ">last" overflow bucket
+            overflow = max(0.0, delta)
+    return deltas, overflow, bounds
+
+
+class TimeSeriesSampler:
+    """Background thread sampling a registry into a store on an interval."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        registry: MetricsRegistry,
+        interval: float = 2.0,
+        hook=None,
+    ):
+        self.store = store
+        self.registry = registry
+        self.interval = max(0.05, float(interval))
+        #: optional callable(store, now) run before each sample -- the
+        #: daemon injects derived gauges (queue depth, SLO inputs) here
+        self.hook = hook
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def sample_once(self, now: Optional[float] = None) -> int:
+        now = time.time() if now is None else now
+        if self.hook is not None:
+            try:
+                self.hook(self.store, now)
+            except Exception:  # a broken hook must not kill sampling
+                pass
+        return self.store.sample(self.registry, now)
+
+    def start(self) -> "TimeSeriesSampler":
+        if self._thread is not None:
+            return self
+        self.sample_once()  # prime the delta state immediately
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-timeseries", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    def stop(self, final_sample: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_sample:
+            self.sample_once()

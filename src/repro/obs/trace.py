@@ -24,13 +24,29 @@ one attribute lookup and one ``if``.
 A tracer can mirror finished spans into a
 :class:`repro.engine.journal.RunJournal` (duck-typed via ``record``)
 so the JSONL run journal and the trace tree tell one story.
+
+Two daemon-grade extensions sit on top of the one-shot model:
+
+- **bounded retention** -- ``Tracer(max_spans=N)`` keeps only the
+  newest N finished spans (a ring buffer) and counts the rest in
+  :attr:`Tracer.dropped`, so ``--trace`` on a long-lived process
+  cannot grow memory without bound.  The default (``max_spans=None``)
+  keeps every span, byte-identical to the original behaviour.
+- **thread-scoped activation** -- :func:`scoped` installs a tracer for
+  the current thread only, overriding the process-wide singleton, so a
+  service daemon can give every job its own tracer (tagged with the
+  job's ``trace_id``) without jobs seeing each other's spans.  The
+  engine re-activates the scope on its pool threads, so parallel
+  stages still land in the right job's tracer.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Union
 
 
 class Span:
@@ -126,15 +142,35 @@ class Tracer:
     ``journal`` may be any object with a ``record(event, **fields)``
     method (a :class:`repro.engine.journal.RunJournal`): every finished
     span is then mirrored as a ``"span"`` journal event.
+
+    ``max_spans`` bounds finished-span retention: beyond it the oldest
+    spans are dropped (and counted in :attr:`dropped`) so a long-lived
+    daemon's per-job tracers stay flat in memory.  ``trace_id`` tags
+    the tracer (and every exported trace event) with the identity of
+    the work it belongs to -- the service daemon uses the job's trace
+    ID here so spans, journal lines and HTTP tickets correlate.
     """
 
-    def __init__(self, enabled: bool = True, journal: Optional[Any] = None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        journal: Optional[Any] = None,
+        max_spans: Optional[int] = None,
+        trace_id: Optional[str] = None,
+    ):
         self.enabled = enabled
         self.journal = journal
+        self.trace_id = trace_id
         #: perf_counter -> wall-clock epoch offset, for absolute export
         self.epoch = time.time() - time.perf_counter()
         self._lock = threading.Lock()
-        self._finished: List[Span] = []
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._finished: Union[List[Span], Deque[Span]]
+        if max_spans is None:
+            self._finished = []
+        else:
+            self._finished = deque(maxlen=max(1, int(max_spans)))
         self._local = threading.local()
 
     # -- recording -----------------------------------------------------
@@ -153,10 +189,18 @@ class Tracer:
 
     def _finish(self, span: Span) -> None:
         with self._lock:
+            if (
+                self.max_spans is not None
+                and len(self._finished) == self._finished.maxlen  # type: ignore[union-attr]
+            ):
+                self.dropped += 1
             self._finished.append(span)
         if self.journal is not None:
+            # spans are high-rate and loss-tolerant; skip the per-line
+            # flush (lifecycle events still flush, carrying these along)
             self.journal.record(
                 "span",
+                _flush=False,
                 name=span.name,
                 path=span.path,
                 duration=round(span.duration, 6),
@@ -186,10 +230,14 @@ class Tracer:
 #: the process-wide active tracer; disabled until someone opts in
 _active = Tracer(enabled=False)
 
+#: per-thread tracer override (the service daemon's per-job scope)
+_scope = threading.local()
+
 
 def get_tracer() -> Tracer:
-    """The currently active tracer."""
-    return _active
+    """The effective tracer: the thread's scoped one, else the global."""
+    scoped_tracer = getattr(_scope, "tracer", None)
+    return scoped_tracer if scoped_tracer is not None else _active
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
@@ -204,13 +252,37 @@ def reset_tracer() -> Tracer:
     return set_tracer(Tracer(enabled=False))
 
 
+@contextlib.contextmanager
+def scoped(tracer: Optional[Tracer]):
+    """Activate ``tracer`` for the current thread only.
+
+    Everything this thread records through the module-level
+    :func:`span` helper while the context is open lands in ``tracer``
+    instead of the process-wide singleton; other threads are
+    unaffected.  ``None`` is a no-op scope (useful for call sites that
+    may or may not have a per-job tracer).  Scopes nest and restore the
+    previous override on exit.
+    """
+    if tracer is None:
+        yield None
+        return
+    previous = getattr(_scope, "tracer", None)
+    _scope.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _scope.tracer = previous
+
+
 def span(name: str, **attrs: Any):
-    """Open a span on the active tracer (the instrumentation entry)."""
-    tracer = _active
+    """Open a span on the effective tracer (the instrumentation entry)."""
+    tracer = getattr(_scope, "tracer", None)
+    if tracer is None:
+        tracer = _active
     if not tracer.enabled:
         return NULL_SPAN
     return Span(tracer, name, attrs)
 
 
 def enabled() -> bool:
-    return _active.enabled
+    return get_tracer().enabled

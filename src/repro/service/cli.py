@@ -4,11 +4,14 @@
 
     repro serve  [--host H] [--port P] [--run-dir DIR] [--workers N]
                  [--flow-jobs N] [--max-pending N] [--cache-max-mb MB]
-                 [--log-level LEVEL]
+                 [--slo SPEC ...] [--timeseries-interval S]
+                 [--timeseries-capacity N] [--max-trace-spans N]
+                 [--no-telemetry] [--log-level LEVEL]
     repro submit DESIGN [--url URL] [--param k=v ...] [--option k=v ...]
                  [--library hs|ll] [--top NAME] [--priority N]
                  [--timeout S] [--no-reuse] [--wait] [--verilog-out F]
     repro status [JOB_ID] [--url URL]
+    repro trace  JOB_ID [--url URL] [--out FILE]
     repro cancel JOB_ID [--url URL]
     repro shutdown [--url URL]
 
@@ -32,7 +35,7 @@ DEFAULT_URL = "http://127.0.0.1:8642"
 
 log = logging.getLogger("repro.service.cli")
 
-SERVICE_COMMANDS = ("serve", "submit", "status", "cancel", "shutdown")
+SERVICE_COMMANDS = ("serve", "submit", "status", "trace", "cancel", "shutdown")
 
 
 def _parse_kv(pairs: List[str], label: str) -> Dict[str, Any]:
@@ -77,6 +80,31 @@ def build_service_parser() -> argparse.ArgumentParser:
         help="LRU-evict the shared artifact cache above this size",
     )
     serve.add_argument(
+        "--slo", action="append", default=[], metavar="SPEC",
+        help=(
+            "service level objective, repeatable; "
+            "NAME:SERIES<=VALUE[@TARGET][/WINDOW_S], e.g. "
+            "latency:service.job.latency_s.p95<=5.0@0.95/600 "
+            "(replaces the built-in defaults)"
+        ),
+    )
+    serve.add_argument(
+        "--timeseries-interval", type=float, default=2.0,
+        help="seconds between time-series samples (default 2.0)",
+    )
+    serve.add_argument(
+        "--timeseries-capacity", type=int, default=600,
+        help="ring-buffer points kept per series (default 600)",
+    )
+    serve.add_argument(
+        "--max-trace-spans", type=int, default=5000,
+        help="spans retained per job trace before dropping (default 5000)",
+    )
+    serve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable tracing, time series, SLOs and the dashboard",
+    )
+    serve.add_argument(
         "--log-level",
         choices=["debug", "info", "warning", "error"],
         default="info",
@@ -119,6 +147,16 @@ def build_service_parser() -> argparse.ArgumentParser:
     add_url(status)
     status.add_argument("job_id", nargs="?", help="omit to list all jobs")
 
+    trace = sub.add_parser(
+        "trace", help="fetch a job's Perfetto trace file"
+    )
+    add_url(trace)
+    trace.add_argument("job_id")
+    trace.add_argument(
+        "--out", metavar="FILE",
+        help="write the trace JSON here instead of stdout",
+    )
+
     cancel = sub.add_parser("cancel", help="cancel a queued job")
     add_url(cancel)
     cancel.add_argument("job_id")
@@ -131,6 +169,7 @@ def build_service_parser() -> argparse.ArgumentParser:
 def _cmd_serve(args) -> int:
     from .daemon import ServiceDaemon
     from .server import make_server
+    from .telemetry import parse_slo
 
     configure_logging(args.log_level, stream=sys.stdout)
     cache_max_bytes = (
@@ -138,12 +177,18 @@ def _cmd_serve(args) -> int:
         if args.cache_max_mb is not None
         else None
     )
+    slos = [parse_slo(spec) for spec in args.slo] or None
     daemon = ServiceDaemon(
         run_dir=args.run_dir,
         workers=args.workers,
         flow_jobs=args.flow_jobs,
         max_pending=args.max_pending,
         cache_max_bytes=cache_max_bytes,
+        telemetry=not args.no_telemetry,
+        timeseries_interval=args.timeseries_interval,
+        timeseries_capacity=args.timeseries_capacity,
+        slos=slos,
+        max_trace_spans=args.max_trace_spans,
     )
     server = make_server(daemon, host=args.host, port=args.port)
     daemon.install_signal_handlers(server)
@@ -220,6 +265,23 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .client import ServiceClient
+
+    document = ServiceClient(args.url).trace(args.job_id)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(
+            f"wrote {len(document.get('traceEvents', []))} trace events "
+            f"to {args.out} (load in https://ui.perfetto.dev)"
+        )
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_cancel(args) -> int:
     from .client import ServiceClient
 
@@ -250,6 +312,7 @@ def service_main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
+        "trace": _cmd_trace,
         "cancel": _cmd_cancel,
         "shutdown": _cmd_shutdown,
     }

@@ -12,7 +12,13 @@ One :class:`ServiceDaemon` owns
 - per-job JSONL journals (``<run_dir>/jobs/<id>.jsonl``, append mode)
   plus a daemon-level journal of submissions and settlements;
 - a metrics registry re-exported over ``/metrics``: jobs by state,
-  queue depth, cache hit rate, per-stage latency histograms.
+  queue depth, cache hit rate, per-stage latency histograms;
+- a :class:`~repro.service.telemetry.TelemetryHub`: every job gets a
+  trace ID and its own span tracer (scoped to the worker thread, ring
+  bounded, exported over ``GET /jobs/<id>/trace``), a background
+  sampler folds the registry into ring-buffer time series
+  (``GET /timeseries``), declarative SLOs report burn-rate status in
+  ``/health``, and ``GET /dashboard`` serves the live view.
 
 Lifecycle: jobs that raise are settled ``failed`` without touching the
 daemon (crash isolation); :meth:`drain` stops intake and waits for
@@ -26,16 +32,20 @@ import logging
 import os
 import signal
 import threading
+import time
 import uuid
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..engine.cache import ArtifactCache
 from ..engine.executor import FlowEngine
 from ..engine.journal import RunJournal
 from ..obs import metrics as metrics_mod
+from ..obs import trace as trace_mod
+from ..obs.export import trace_document
 from ..obs.metrics import MetricsRegistry
 from .jobs import JobSpec, execute_job, job_key, result_payload
 from .queue import Job, JobQueue, JobState, QueueClosed, QueueFull
+from .telemetry import SLO, TelemetryHub, dashboard_html
 
 log = logging.getLogger("repro.service")
 
@@ -44,6 +54,23 @@ log = logging.getLogger("repro.service")
 STAGE_SECONDS_BUCKETS: Tuple[float, ...] = (
     0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1, 2, 5, 15, 60, 300,
 )
+
+#: ``# HELP`` strings for the daemon's own metric families
+_METRIC_HELP = {
+    "service.jobs.submitted": "jobs accepted by the daemon",
+    "service.jobs.deduped": "submissions answered by an existing job",
+    "service.jobs.done": "jobs settled successfully",
+    "service.jobs.failed": "jobs settled with an error or timeout",
+    "service.jobs.cancelled": "jobs cancelled while queued",
+    "service.queue.depth": "jobs currently queued",
+    "service.jobs.active": "jobs queued or running",
+    "service.cache.hit_rate": "shared artifact cache hit rate",
+    "repro.jobs": "jobs by lifecycle state",
+    "service.job.latency_s": "end-to-end job wall time (seconds)",
+    "service.queue.wait_s": "submit-to-start queue wait (seconds)",
+    "service.stage_runs": "per-stage executions by cache disposition",
+    "service.trace.spans_dropped": "spans dropped by per-job ring buffers",
+}
 
 
 class ServiceDaemon:
@@ -58,6 +85,12 @@ class ServiceDaemon:
         max_pending: Optional[int] = 256,
         cache_max_bytes: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        telemetry: bool = True,
+        timeseries_interval: float = 2.0,
+        timeseries_capacity: int = 600,
+        slos: Optional[Sequence[SLO]] = None,
+        max_trace_spans: int = 5000,
+        max_traces: int = 256,
     ):
         self.run_dir = os.path.abspath(run_dir)
         os.makedirs(self.run_dir, exist_ok=True)
@@ -67,6 +100,13 @@ class ServiceDaemon:
         )
         self.flow_jobs = max(1, int(flow_jobs))
         self.registry = registry or MetricsRegistry()
+        for name, help_text in _METRIC_HELP.items():
+            self.registry.describe(name, help_text)
+        # pre-create the settle counters so their rate series exist
+        # (at 0.0) from the first sample -- an SLO over a counter that
+        # is never incremented should read "ok", not "no_data"
+        for state in ("done", "failed", "cancelled"):
+            self.registry.counter(f"service.jobs.{state}")
         self._previous_registry: Optional[MetricsRegistry] = None
         self.journal = RunJournal(
             os.path.join(self.run_dir, "daemon.jsonl"), append=True
@@ -75,6 +115,17 @@ class ServiceDaemon:
         self._by_key: Dict[str, str] = {}
         self._libraries: Dict[str, Any] = {}
         self._closed = False
+        self.telemetry: Optional[TelemetryHub] = None
+        if telemetry:
+            self.telemetry = TelemetryHub(
+                self.registry,
+                interval=timeseries_interval,
+                capacity=timeseries_capacity,
+                slos=slos,
+                max_traces=max_traces,
+                max_trace_spans=max_trace_spans,
+                hook=self._sample_hook,
+            )
         self.queue = JobQueue(
             workers=workers,
             max_pending=max_pending,
@@ -85,6 +136,8 @@ class ServiceDaemon:
         # cache hits and stage counters too
         self._previous_registry = metrics_mod.get_registry()
         metrics_mod.set_registry(self.registry)
+        if self.telemetry is not None:
+            self.telemetry.start()
         self.journal.record(
             "daemon_start",
             run_dir=self.run_dir,
@@ -92,6 +145,7 @@ class ServiceDaemon:
             flow_jobs=self.flow_jobs,
             cache_dir=self.cache.directory,
             cache_max_bytes=cache_max_bytes,
+            telemetry=telemetry,
         )
 
     # -- library + journal plumbing ------------------------------------
@@ -149,13 +203,14 @@ class ServiceDaemon:
             job_id = uuid.uuid4().hex[:12]
             self._by_key[key] = job_id
 
+        trace_id = uuid.uuid4().hex[:16]
         try:
             job = self.queue.submit(
-                lambda: self._run_job(job_id, spec, library),
+                lambda: self._run_job(job_id, spec, library, trace_id),
                 job_id=job_id,
                 priority=spec.priority,
                 timeout=spec.timeout,
-                meta={"spec": spec, "key": key},
+                meta={"spec": spec, "key": key, "trace_id": trace_id},
             )
         except (QueueFull, QueueClosed):
             with self._lock:
@@ -168,6 +223,7 @@ class ServiceDaemon:
             "job_submitted",
             job=job_id,
             key=key[:12],
+            trace_id=trace_id,
             design=spec.design or "verilog",
             library=spec.library,
             priority=spec.priority,
@@ -181,37 +237,71 @@ class ServiceDaemon:
         return job, False
 
     # -- execution -----------------------------------------------------
-    def _run_job(self, job_id: str, spec: JobSpec, library):
-        """Worker body: one flow run on a per-job engine + journal."""
-        journal = RunJournal(self.job_journal_path(job_id), append=True)
+    def _run_job(self, job_id: str, spec: JobSpec, library, trace_id: str):
+        """Worker body: one flow run on a per-job engine + journal.
+
+        The job's tracer is activated *for this worker thread only*
+        (:func:`repro.obs.trace.scoped`), so concurrent jobs never see
+        each other's spans and the process-global tracer -- which a
+        long daemon must not grow -- stays untouched.  The per-job
+        journal carries the trace ID on every line; the tracer mirrors
+        its spans into the same journal.
+        """
+        journal = RunJournal(
+            self.job_journal_path(job_id), append=True, trace_id=trace_id
+        )
+        tracer = None
+        if self.telemetry is not None:
+            tracer = self.telemetry.job_tracer(
+                job_id, trace_id, journal=journal
+            )
         engine = FlowEngine(
             cache=self.cache, journal=journal, jobs=self.flow_jobs
         )
         try:
-            result = execute_job(spec, library, engine)
+            with trace_mod.scoped(tracer):
+                result = execute_job(spec, library, engine)
             run = engine.results[-1]
             for record in run.records.values():
                 self.registry.histogram(
                     f"service.stage.{record.name}",
                     buckets=STAGE_SECONDS_BUCKETS,
                 ).observe(record.duration)
+                self.registry.counter(
+                    "service.stage_runs",
+                    labels={"stage": record.name, "cache": record.cache},
+                ).inc()
             payload = result_payload(result, include_verilog=True)
             payload["stages"] = {
                 "total": len(run.records),
                 "cached": len(run.cached_stages()),
             }
             payload["flow_wall_time"] = round(run.wall_time, 6)
+            payload["trace_id"] = trace_id
             return payload
         finally:
+            if tracer is not None and tracer.dropped:
+                self.registry.counter(
+                    "service.trace.spans_dropped"
+                ).inc(tracer.dropped)
             journal.close()
 
     def _on_settle(self, job: Job) -> None:
         self.registry.counter(f"service.jobs.{job.state.value}").inc()
+        if job.wall_time is not None:
+            self.registry.histogram(
+                "service.job.latency_s", buckets=STAGE_SECONDS_BUCKETS
+            ).observe(job.wall_time)
+        if job.started_at is not None:
+            self.registry.histogram(
+                "service.queue.wait_s", buckets=STAGE_SECONDS_BUCKETS
+            ).observe(max(0.0, job.started_at - job.submitted_at))
         self._observe_queue()
         self.journal.record(
             "job_settled",
             job=job.id,
             state=job.state.value,
+            trace_id=job.meta.get("trace_id"),
             error=job.error,
             wall_time=round(job.wall_time, 6) if job.wall_time else None,
         )
@@ -226,6 +316,25 @@ class ServiceDaemon:
         self.registry.gauge("service.jobs.active").set(
             counts["running"] + counts["queued"]
         )
+        # labelled per-state gauges, the Prometheus-native shape:
+        # repro_jobs{state="queued"} etc.
+        for state in JobState:
+            self.registry.gauge(
+                "repro.jobs", labels={"state": state.value}
+            ).set(counts[state.value])
+
+    def _sample_hook(self, store, now: float) -> None:
+        """Pre-sample gauge refresh run by the time-series sampler."""
+        self._observe_queue()
+        self.registry.gauge("service.cache.hit_rate").set(
+            self.cache.stats.as_dict()["hit_rate"]
+        )
+        if self.telemetry is not None:
+            store.record(
+                "service.trace.retained_spans",
+                self.telemetry.span_count(),
+                ts=now,
+            )
 
     # -- inspection ----------------------------------------------------
     def job_status(self, job_id: str) -> Dict[str, Any]:
@@ -237,6 +346,7 @@ class ServiceDaemon:
             "id": job.id,
             "state": job.state.value,
             "key": job.meta["key"],
+            "trace_id": job.meta.get("trace_id"),
             "design": spec.design or "verilog",
             "library": spec.library,
             "priority": job.priority,
@@ -288,10 +398,61 @@ class ServiceDaemon:
 
     def health(self) -> Dict[str, Any]:
         counts = self.queue.counts()
-        return {
+        payload: Dict[str, Any] = {
             "status": "draining" if not self.queue.accepting else "ok",
             "jobs": counts,
         }
+        if self.telemetry is not None:
+            payload["slos"] = self.telemetry.evaluate_slos(time.time())
+            if (
+                payload["status"] == "ok"
+                and payload["slos"]["status"] == "breach"
+            ):
+                payload["status"] = "degraded"
+        return payload
+
+    def timeseries_snapshot(self) -> Dict[str, Any]:
+        """The ``/timeseries`` document (404s upstream when disabled)."""
+        if self.telemetry is None:
+            raise LookupError("telemetry is disabled on this daemon")
+        return {
+            "interval_s": self.telemetry.interval,
+            **self.telemetry.store.as_dict(),
+        }
+
+    def job_trace(self, job_id: str) -> Dict[str, Any]:
+        """One job's spans as a Perfetto-loadable trace document.
+
+        Raises ``KeyError`` for an unknown job and ``LookupError`` when
+        no trace is retained (telemetry off, job still queued, or the
+        tracer aged out of the bounded registry).
+        """
+        job = self.queue.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        tracer = (
+            self.telemetry.get_tracer(job_id)
+            if self.telemetry is not None
+            else None
+        )
+        if tracer is None:
+            raise LookupError(
+                f"no trace retained for job {job_id} "
+                "(telemetry disabled, job not started, or trace evicted)"
+            )
+        document = trace_document(tracer)
+        document["otherData"].update(
+            job=job_id,
+            state=job.state.value,
+            design=job.meta["spec"].design or "verilog",
+        )
+        return document
+
+    def dashboard_page(self) -> str:
+        if self.telemetry is None:
+            raise LookupError("telemetry is disabled on this daemon")
+        poll_ms = int(self.telemetry.interval * 1000)
+        return dashboard_html(poll_ms=max(500, poll_ms))
 
     # -- lifecycle -----------------------------------------------------
     def cancel(self, job_id: str) -> bool:
@@ -310,6 +471,8 @@ class ServiceDaemon:
                 return True
             self._closed = True
         drained = self.queue.shutdown(timeout)
+        if self.telemetry is not None:
+            self.telemetry.stop()
         self.journal.record("daemon_stop", drained=drained)
         self.journal.close()
         if self._previous_registry is not None:

@@ -7,10 +7,14 @@ Routes (all bodies JSON):
 - ``GET  /jobs/<id>``         one job's status
 - ``GET  /jobs/<id>/result``  result payload (``?verilog=1`` to inline
   the converted netlist)
+- ``GET  /jobs/<id>/trace``   the job's spans as a Perfetto-loadable
+  Chrome trace-event file (trace correlation)
 - ``POST /jobs/<id>/cancel``  cancel a queued job
 - ``GET  /metrics``           service + registry snapshot
   (``?format=prometheus`` for text exposition)
-- ``GET  /health``            liveness/readiness
+- ``GET  /timeseries``        ring-buffer rate/gauge/quantile series
+- ``GET  /dashboard``         the live HTML dashboard (inline SVG)
+- ``GET  /health``            liveness/readiness + SLO burn status
 - ``POST /shutdown``          graceful drain, then stop serving
 
 The server is a ``ThreadingHTTPServer``: each request is handled on
@@ -36,7 +40,7 @@ from .queue import QueueClosed, QueueFull
 
 log = logging.getLogger("repro.service.http")
 
-_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)(/(result|cancel))?$")
+_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)(/(result|cancel|trace))?$")
 
 
 class ServiceRequestError(Exception):
@@ -69,6 +73,14 @@ class _Handler(BaseHTTPRequestHandler):
         body = text.encode()
         self.send_response(status)
         self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, status: int, html: str) -> None:
+        body = html.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -129,6 +141,18 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json(200, snapshot)
             return
+        if path == "/timeseries":
+            try:
+                self._send_json(200, self.daemon.timeseries_snapshot())
+            except LookupError as exc:
+                raise ServiceRequestError(404, str(exc))
+            return
+        if path == "/dashboard":
+            try:
+                self._send_html(200, self.daemon.dashboard_page())
+            except LookupError as exc:
+                raise ServiceRequestError(404, str(exc))
+            return
         if path == "/jobs":
             self._send_json(200, {"jobs": self.daemon.list_jobs()})
             return
@@ -141,6 +165,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 200, self._job_result(match.group(1), include_verilog)
             )
+            return
+        if match and match.group(3) == "trace":
+            self._send_json(200, self._job_trace(match.group(1)))
             return
         raise ServiceRequestError(404, f"no route for GET {path}")
 
@@ -157,6 +184,14 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceRequestError(404, f"unknown job {job_id!r}")
         except LookupError as exc:
             raise ServiceRequestError(409, str(exc))
+
+    def _job_trace(self, job_id: str):
+        try:
+            return self.daemon.job_trace(job_id)
+        except KeyError:
+            raise ServiceRequestError(404, f"unknown job {job_id!r}")
+        except LookupError as exc:
+            raise ServiceRequestError(404, str(exc))
 
     # -- POST routes ---------------------------------------------------
     def _dispatch_post(self) -> None:

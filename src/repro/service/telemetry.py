@@ -1,0 +1,450 @@
+"""Service telemetry: trace correlation, time series, SLOs, dashboard.
+
+The daemon-side aggregation point for everything PR 7 adds on top of
+the one-shot observability layer:
+
+- a bounded registry of **per-job tracers** (job id -> scoped
+  :class:`repro.obs.trace.Tracer` tagged with the job's trace ID), so
+  ``GET /jobs/<id>/trace`` can export a Perfetto file for exactly one
+  job long after it settled;
+- the **time-series** store + background sampler
+  (:mod:`repro.obs.timeseries`) fed from the daemon's metrics
+  registry, served as ``GET /timeseries``;
+- declarative **SLOs** evaluated over the ring-buffer windows with
+  burn-rate status (``/health``), parseable from the CLI's
+  ``--slo name:series<=value[@target][/window]`` flags;
+- the zero-dependency **live dashboard** (``GET /dashboard``): one
+  self-contained HTML page polling ``/timeseries`` + ``/health`` +
+  ``/jobs`` + ``/metrics`` and rendering inline-SVG sparklines, SLO
+  tiles, per-stage cache-hit rates and the job table.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.timeseries import TimeSeriesSampler, TimeSeriesStore
+from ..obs.trace import Tracer
+
+__all__ = [
+    "SLO",
+    "TelemetryHub",
+    "dashboard_html",
+    "default_slos",
+    "parse_slo",
+]
+
+#: ``name:series<=value[@target][/window_s]`` (also ``>=``)
+_SLO_SPEC = re.compile(
+    r"^(?P<name>[\w.-]+):(?P<series>[\w.{}=\",-]+)"
+    r"(?P<op><=|>=)(?P<objective>-?\d+(?:\.\d+)?)"
+    r"(?:@(?P<target>0?\.\d+|1(?:\.0+)?))?"
+    r"(?:/(?P<window>\d+(?:\.\d+)?))?$"
+)
+
+
+@dataclass
+class SLO:
+    """One declarative service-level objective over a time series.
+
+    ``target`` is the fraction of in-window points that must satisfy
+    ``value <op> objective`` -- e.g. "95% of sampled p95 latencies stay
+    under 2 s over the last 10 minutes".  The **burn rate** is the
+    classic SRE ratio: observed bad fraction over the error budget
+    (``1 - target``); 1.0 means the budget is being spent exactly as
+    fast as allowed, above 1.0 the objective breaches.
+    """
+
+    name: str
+    series: str
+    objective: float
+    op: str = "<="
+    target: float = 0.95
+    window_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<=", ">="):
+            raise ValueError(f"SLO {self.name!r}: op must be <= or >=")
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError(f"SLO {self.name!r}: target must be in (0, 1]")
+
+    def _good(self, value: float) -> bool:
+        if self.op == "<=":
+            return value <= self.objective
+        return value >= self.objective
+
+    def evaluate(self, store: TimeSeriesStore, now: float) -> Dict[str, Any]:
+        """Status over the trailing window: ok / warn / breach / no_data."""
+        series = store.get(self.series)
+        points = (
+            series.ring.since(now - self.window_s) if series is not None else []
+        )
+        verdict: Dict[str, Any] = {
+            "name": self.name,
+            "series": self.series,
+            "objective": f"{self.op}{self.objective:g}",
+            "target": self.target,
+            "window_s": self.window_s,
+            "points": len(points),
+        }
+        if not points:
+            verdict.update(status="no_data", good_fraction=None,
+                           burn_rate=None)
+            return verdict
+        good = sum(1 for _ts, value in points if self._good(value))
+        good_fraction = good / len(points)
+        budget = 1.0 - self.target
+        bad_fraction = 1.0 - good_fraction
+        if budget > 0:
+            burn_rate = bad_fraction / budget
+        else:
+            burn_rate = 0.0 if bad_fraction == 0 else math.inf
+        if good_fraction < self.target:
+            status = "breach"
+        elif burn_rate >= 0.5:
+            status = "warn"
+        else:
+            status = "ok"
+        verdict.update(
+            status=status,
+            good_fraction=round(good_fraction, 4),
+            burn_rate=round(burn_rate, 4) if math.isfinite(burn_rate) else "inf",
+            last=round(points[-1][1], 6),
+        )
+        return verdict
+
+    def to_spec(self) -> str:
+        return (
+            f"{self.name}:{self.series}{self.op}{self.objective:g}"
+            f"@{self.target:g}/{self.window_s:g}"
+        )
+
+
+def parse_slo(spec: str) -> SLO:
+    """Parse one ``--slo`` flag value into an :class:`SLO`."""
+    match = _SLO_SPEC.match(spec.strip())
+    if match is None:
+        raise ValueError(
+            f"bad SLO spec {spec!r}; expected "
+            "name:series<=value[@target][/window_s] "
+            "(e.g. warm_p95:service.job.latency_s.p95<=2.0@0.95/600)"
+        )
+    fields = match.groupdict()
+    return SLO(
+        name=fields["name"],
+        series=fields["series"],
+        objective=float(fields["objective"]),
+        op=fields["op"],
+        target=float(fields["target"]) if fields["target"] else 0.95,
+        window_s=float(fields["window"]) if fields["window"] else 300.0,
+    )
+
+
+def default_slos() -> List[SLO]:
+    """The daemon's out-of-the-box objectives (override with --slo)."""
+    return [
+        # warm jobs should settle fast: 95% of sampled p95 latencies
+        # under 5 s over 10 minutes
+        SLO("job_latency_p95", "service.job.latency_s.p95", 5.0,
+            "<=", 0.95, 600.0),
+        # failures stay rare: 99% of samples see under 0.1 failed
+        # jobs/s
+        SLO("error_rate", "service.jobs.failed.rate", 0.1,
+            "<=", 0.99, 600.0),
+        # backpressure honest: 95% of sampled p95 queue waits under 2 s
+        SLO("queue_wait_p95", "service.queue.wait_s.p95", 2.0,
+            "<=", 0.95, 600.0),
+    ]
+
+
+_STATUS_RANK = {"ok": 0, "no_data": 1, "warn": 2, "breach": 3}
+
+
+class TelemetryHub:
+    """Owns the daemon's time series, SLOs and per-job trace registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval: float = 2.0,
+        capacity: int = 600,
+        slos: Optional[Sequence[SLO]] = None,
+        max_traces: int = 256,
+        max_trace_spans: int = 5000,
+        hook=None,
+    ):
+        self.registry = registry
+        self.interval = interval
+        self.slos: List[SLO] = list(default_slos() if slos is None else slos)
+        self.max_traces = max(1, int(max_traces))
+        self.max_trace_spans = max_trace_spans
+        self.store = TimeSeriesStore(capacity=capacity)
+        self.sampler = TimeSeriesSampler(
+            self.store, registry, interval=interval, hook=hook
+        )
+        self._lock = threading.Lock()
+        #: job id -> per-job Tracer, newest last; bounded LRU-by-insertion
+        self._traces: "OrderedDict[str, Tracer]" = OrderedDict()
+        self.evicted_traces = 0
+
+    # -- per-job tracers -----------------------------------------------
+    def job_tracer(self, job_id: str, trace_id: str,
+                   journal=None) -> Tracer:
+        """Create and register the tracer for one job's run."""
+        tracer = Tracer(
+            enabled=True,
+            journal=journal,
+            max_spans=self.max_trace_spans,
+            trace_id=trace_id,
+        )
+        with self._lock:
+            self._traces[job_id] = tracer
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+                self.evicted_traces += 1
+        return tracer
+
+    def get_tracer(self, job_id: str) -> Optional[Tracer]:
+        with self._lock:
+            return self._traces.get(job_id)
+
+    def trace_count(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def span_count(self) -> int:
+        """Total retained spans across all job tracers (soak metric)."""
+        with self._lock:
+            tracers = list(self._traces.values())
+        return sum(len(tracer) for tracer in tracers)
+
+    # -- SLOs ----------------------------------------------------------
+    def evaluate_slos(self, now: float) -> Dict[str, Any]:
+        objectives = [slo.evaluate(self.store, now) for slo in self.slos]
+        worst = max(
+            (entry["status"] for entry in objectives),
+            key=lambda status: _STATUS_RANK[status],
+            default="ok",
+        )
+        return {"status": worst, "objectives": objectives}
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "TelemetryHub":
+        self.sampler.start()
+        return self
+
+    def stop(self) -> None:
+        self.sampler.stop()
+
+
+# ---------------------------------------------------------------------------
+# The dashboard: one self-contained page, no external assets
+# ---------------------------------------------------------------------------
+
+#: series the dashboard highlights first when present (the rest are
+#: listed alphabetically below them)
+_FEATURED_SERIES = [
+    "service.jobs.submitted.rate",
+    "service.jobs.done.rate",
+    "service.jobs.failed.rate",
+    "service.job.latency_s.p95",
+    "service.queue.wait_s.p95",
+    "service.queue.depth",
+    "service.cache.hit_rate",
+]
+
+_DASHBOARD_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro desync service</title>
+<style>
+  :root { color-scheme: light dark; }
+  body { font: 13px/1.45 system-ui, sans-serif; margin: 1.2rem;
+         background: Canvas; color: CanvasText; }
+  h1 { font-size: 1.15rem; margin: 0 0 .2rem; }
+  h2 { font-size: .95rem; margin: 1.2rem 0 .4rem; }
+  .muted { opacity: .65; }
+  .tiles { display: flex; flex-wrap: wrap; gap: .6rem; }
+  .tile { border: 1px solid color-mix(in srgb, CanvasText 25%, Canvas);
+          border-radius: 6px; padding: .5rem .7rem; min-width: 11rem; }
+  .tile .status { font-weight: 600; }
+  .ok .status { color: #188038; } .warn .status { color: #b26a00; }
+  .breach .status { color: #c5221f; } .no_data .status { opacity: .6; }
+  .charts { display: grid; gap: .7rem;
+            grid-template-columns: repeat(auto-fill, minmax(240px, 1fr)); }
+  .chart { border: 1px solid color-mix(in srgb, CanvasText 18%, Canvas);
+           border-radius: 6px; padding: .4rem .6rem; }
+  .chart .name { font-family: ui-monospace, monospace; font-size: .72rem;
+                 overflow-wrap: anywhere; }
+  .chart .value { font-size: 1.05rem; font-weight: 600; }
+  svg polyline { fill: none; stroke: #4374e0; stroke-width: 1.5; }
+  svg .area { fill: #4374e033; stroke: none; }
+  table { border-collapse: collapse; width: 100%; font-size: .8rem; }
+  th, td { text-align: left; padding: .25rem .5rem;
+           border-bottom: 1px solid color-mix(in srgb, CanvasText 15%, Canvas); }
+  td.mono, th.mono { font-family: ui-monospace, monospace; }
+  .state-done { color: #188038; } .state-failed { color: #c5221f; }
+  .state-running { color: #b26a00; } .state-queued { opacity: .7; }
+  a { color: inherit; }
+</style>
+</head>
+<body>
+<h1>repro desync service <span id="health" class="muted"></span></h1>
+<div class="muted" id="meta">connecting&hellip;</div>
+
+<h2>SLOs</h2>
+<div class="tiles" id="slos"></div>
+
+<h2>Time series</h2>
+<div class="charts" id="charts"></div>
+
+<h2>Per-stage cache hit rate</h2>
+<table id="stages"><thead>
+<tr><th>stage</th><th>runs</th><th>hits</th><th class="mono">hit rate</th></tr>
+</thead><tbody></tbody></table>
+
+<h2>Jobs</h2>
+<table id="jobs"><thead>
+<tr><th class="mono">id</th><th>design</th><th>state</th><th>wall (s)</th>
+<th class="mono">trace</th></tr>
+</thead><tbody></tbody></table>
+
+<script>
+"use strict";
+const POLL_MS = __POLL_MS__;
+const FEATURED = __FEATURED__;
+
+function sparkline(points, width, height) {
+  if (!points.length) return "<svg></svg>";
+  const xs = points.map(p => p[0]), ys = points.map(p => p[1]);
+  const x0 = Math.min(...xs), x1 = Math.max(...xs);
+  const y0 = Math.min(...ys, 0), y1 = Math.max(...ys);
+  const sx = t => x1 === x0 ? width / 2 : (t - x0) / (x1 - x0) * (width - 4) + 2;
+  const sy = v => y1 === y0 ? height / 2 : height - 2 - (v - y0) / (y1 - y0) * (height - 6);
+  const line = points.map(p => sx(p[0]).toFixed(1) + "," + sy(p[1]).toFixed(1)).join(" ");
+  const base = (height - 2).toFixed(1);
+  const area = sx(points[0][0]).toFixed(1) + "," + base + " " + line + " "
+             + sx(points[points.length - 1][0]).toFixed(1) + "," + base;
+  return `<svg width="${width}" height="${height}" role="img">` +
+         `<polygon class="area" points="${area}"></polygon>` +
+         `<polyline points="${line}"></polyline></svg>`;
+}
+
+function fmt(v) {
+  if (v === null || v === undefined) return "&ndash;";
+  if (Math.abs(v) >= 100) return v.toFixed(0);
+  if (Math.abs(v) >= 1) return v.toFixed(2);
+  return v.toPrecision(3);
+}
+
+async function getJSON(path) {
+  const response = await fetch(path);
+  if (!response.ok) throw new Error(path + " -> " + response.status);
+  return response.json();
+}
+
+function renderSLOs(health) {
+  const slos = (health.slos && health.slos.objectives) || [];
+  document.getElementById("slos").innerHTML = slos.map(slo =>
+    `<div class="tile ${slo.status}">` +
+    `<div>${slo.name} <span class="muted">${slo.objective}</span></div>` +
+    `<div class="status">${slo.status}</div>` +
+    `<div class="muted">burn ${slo.burn_rate ?? "&ndash;"} &middot; ` +
+    `good ${slo.good_fraction ?? "&ndash;"} &middot; ` +
+    `last ${fmt(slo.last)}</div></div>`
+  ).join("") || '<div class="muted">no SLOs configured</div>';
+}
+
+function renderCharts(timeseries) {
+  const names = Object.keys(timeseries.series);
+  names.sort((a, b) => {
+    const fa = FEATURED.indexOf(a), fb = FEATURED.indexOf(b);
+    if (fa !== -1 || fb !== -1)
+      return (fa === -1 ? 99 : fa) - (fb === -1 ? 99 : fb);
+    return a < b ? -1 : 1;
+  });
+  document.getElementById("charts").innerHTML = names.map(name => {
+    const series = timeseries.series[name];
+    const last = series.points.length
+      ? series.points[series.points.length - 1][1] : null;
+    return `<div class="chart"><div class="name">${name}</div>` +
+      `<div class="value">${fmt(last)}` +
+      ` <span class="muted">${series.unit || series.kind}</span></div>` +
+      sparkline(series.points, 220, 42) + `</div>`;
+  }).join("");
+}
+
+function renderStages(metrics) {
+  const counters = (metrics.metrics && metrics.metrics.counters) || {};
+  const stages = {};
+  for (const [key, value] of Object.entries(counters)) {
+    const match = key.match(
+      /^service\\.stage_runs\\{cache="(\\w+)",stage="([\\w.-]+)"\\}$/);
+    if (!match) continue;
+    const entry = stages[match[2]] ||= { hit: 0, total: 0 };
+    entry.total += value;
+    if (match[1] === "hit") entry.hit += value;
+  }
+  document.querySelector("#stages tbody").innerHTML =
+    Object.keys(stages).sort().map(stage => {
+      const entry = stages[stage];
+      const rate = entry.total ? (entry.hit / entry.total * 100).toFixed(1) : "0.0";
+      return `<tr><td>${stage}</td><td>${entry.total}</td>` +
+             `<td>${entry.hit}</td><td class="mono">${rate}%</td></tr>`;
+    }).join("");
+}
+
+function renderJobs(jobs) {
+  const rows = jobs.jobs.slice().reverse().slice(0, 50);
+  document.querySelector("#jobs tbody").innerHTML = rows.map(job =>
+    `<tr><td class="mono">${job.id}</td><td>${job.design}</td>` +
+    `<td class="state-${job.state}">${job.state}</td>` +
+    `<td>${job.wall_time ? job.wall_time.toFixed(3) : "&ndash;"}</td>` +
+    `<td class="mono"><a href="/jobs/${job.id}/trace">trace</a></td></tr>`
+  ).join("");
+}
+
+async function tick() {
+  try {
+    const [health, timeseries, jobs, metrics] = await Promise.all([
+      getJSON("/health"), getJSON("/timeseries"),
+      getJSON("/jobs"), getJSON("/metrics"),
+    ]);
+    document.getElementById("health").textContent =
+      "· " + health.status + (health.slos ? " / slo " + health.slos.status : "");
+    document.getElementById("meta").textContent =
+      `${jobs.jobs.length} jobs · ${Object.keys(timeseries.series).length} ` +
+      `series · ${timeseries.samples} samples · updated ` +
+      new Date().toLocaleTimeString();
+    renderSLOs(health);
+    renderCharts(timeseries);
+    renderStages(metrics);
+    renderJobs(jobs);
+  } catch (error) {
+    document.getElementById("meta").textContent = "poll failed: " + error;
+  }
+}
+tick();
+setInterval(tick, POLL_MS);
+</script>
+</body>
+</html>
+"""
+
+
+def dashboard_html(poll_ms: int = 2000) -> str:
+    """The live dashboard page (static HTML + inline JS/SVG)."""
+    import json as _json
+
+    return (
+        _DASHBOARD_TEMPLATE
+        .replace("__POLL_MS__", str(int(poll_ms)))
+        .replace("__FEATURED__", _json.dumps(_FEATURED_SERIES))
+    )

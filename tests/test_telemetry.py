@@ -1,0 +1,624 @@
+"""Tests for the service telemetry layer (PR 7).
+
+Covers the tentpole and its satellites: bounded tracer retention with
+a dropped-span counter, thread-scoped tracer activation (per-job trace
+isolation across concurrent daemon jobs), trace-ID stamping on run
+journals / flow reports / exported trace events, the ring-buffer time
+series + streaming histogram quantiles, declarative SLO parsing and
+burn-rate evaluation, the Prometheus text exposition upgrade, the new
+HTTP surfaces (``/jobs/<id>/trace``, ``/timeseries``, ``/dashboard``)
+with Perfetto validation, and the daemon soak guarantee that telemetry
+memory stays flat over many jobs.
+"""
+
+import json
+import re
+import threading
+import time
+
+import pytest
+
+from repro.engine import RunJournal, read_journal
+from repro.obs import trace
+from repro.obs.export import prometheus_text, trace_document
+from repro.obs.metrics import MetricsRegistry, render_name, split_name
+from repro.obs.timeseries import (
+    RingBuffer,
+    TimeSeriesSampler,
+    TimeSeriesStore,
+    quantile_from_buckets,
+)
+from repro.service import (
+    SLO,
+    JobSpec,
+    ServiceClient,
+    ServiceClientError,
+    ServiceDaemon,
+    default_slos,
+    make_server,
+    parse_slo,
+)
+from repro.service.telemetry import TelemetryHub, dashboard_html
+
+
+# ---------------------------------------------------------------------------
+# Tracer: bounded retention + thread-scoped activation
+# ---------------------------------------------------------------------------
+
+def test_tracer_default_retention_is_unbounded():
+    tracer = trace.Tracer()
+    for i in range(100):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer) == 100
+    assert tracer.dropped == 0
+
+
+def test_tracer_max_spans_rings_and_counts_drops():
+    tracer = trace.Tracer(max_spans=10)
+    for i in range(25):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer) == 10
+    assert tracer.dropped == 15
+    # the newest spans survive, the oldest were dropped
+    names = [span.name for span in tracer.finished()]
+    assert names == [f"s{i}" for i in range(15, 25)]
+
+
+def test_trace_document_default_output_unchanged_by_new_fields():
+    """A plain tracer's export carries no trace_id / dropped noise."""
+    tracer = trace.Tracer()
+    with tracer.span("work"):
+        pass
+    document = trace_document(tracer)
+    assert document["otherData"] == {"producer": "repro.obs"}
+    events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert "args" not in events[0]  # no attrs, no trace_id -> no args
+
+
+def test_trace_document_carries_trace_id_and_drop_count():
+    tracer = trace.Tracer(max_spans=2, trace_id="abc123")
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    document = trace_document(tracer)
+    assert document["otherData"]["trace_id"] == "abc123"
+    assert document["otherData"]["dropped_spans"] == 3
+    for event in document["traceEvents"]:
+        if event["ph"] == "X":
+            assert event["args"]["trace_id"] == "abc123"
+
+
+def test_scoped_tracer_overrides_global_for_current_thread_only():
+    seen = {}
+
+    def worker(name):
+        tracer = trace.Tracer(trace_id=name)
+        with trace.scoped(tracer):
+            with trace.span("inner"):
+                time.sleep(0.01)
+        seen[name] = [span.name for span in tracer.finished()]
+
+    threads = [
+        threading.Thread(target=worker, args=(f"job{i}",)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # each thread's spans landed in its own tracer, exactly once
+    assert all(names == ["inner"] for names in seen.values())
+    # the global tracer (disabled default) saw nothing
+    assert trace.span("outside") is trace.NULL_SPAN
+
+
+def test_scoped_none_is_a_noop_and_scopes_nest():
+    outer = trace.Tracer(trace_id="outer")
+    inner = trace.Tracer(trace_id="inner")
+    with trace.scoped(None):
+        assert trace.get_tracer().trace_id is None
+    with trace.scoped(outer):
+        assert trace.get_tracer() is outer
+        with trace.scoped(inner):
+            assert trace.get_tracer() is inner
+        assert trace.get_tracer() is outer
+    assert trace.get_tracer().trace_id is None
+
+
+# ---------------------------------------------------------------------------
+# RunJournal: trace-ID stamping + no interleaved lines
+# ---------------------------------------------------------------------------
+
+def test_journal_stamps_trace_id_on_every_entry(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = RunJournal(path, trace_id="feedface")
+    journal.record("one", value=1)
+    journal.record("two", value=2)
+    journal.close()
+    events = read_journal(path)
+    assert [e["trace_id"] for e in events] == ["feedface", "feedface"]
+    # and in memory too
+    assert all(e["trace_id"] == "feedface" for e in journal.events)
+
+
+def test_journal_without_trace_id_is_unchanged(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with RunJournal(path) as journal:
+        journal.record("evt")
+    assert "trace_id" not in read_journal(path)[0]
+
+
+def test_journal_concurrent_writers_never_interleave(tmp_path):
+    """Many threads hammering one journal: every line parses whole."""
+    path = str(tmp_path / "j.jsonl")
+    journal = RunJournal(path, trace_id="cafe01")
+    per_thread = 200
+
+    def writer(tid):
+        for i in range(per_thread):
+            journal.record("spam", tid=tid, i=i, pad="x" * 64)
+
+    threads = [
+        threading.Thread(target=writer, args=(t,)) for t in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    journal.close()
+    with open(path) as handle:
+        lines = [line for line in handle if line.strip()]
+    assert len(lines) == 8 * per_thread
+    for line in lines:
+        entry = json.loads(line)  # raises on a torn line
+        assert entry["trace_id"] == "cafe01"
+
+
+# ---------------------------------------------------------------------------
+# Ring buffers + time series
+# ---------------------------------------------------------------------------
+
+def test_ring_buffer_caps_and_orders():
+    ring = RingBuffer(capacity=4)
+    for i in range(10):
+        ring.append(float(i), float(i * 10))
+    assert len(ring) == 4
+    assert ring.dropped == 6
+    assert ring.points() == [(6.0, 60.0), (7.0, 70.0), (8.0, 80.0), (9.0, 90.0)]
+    assert ring.last() == (9.0, 90.0)
+    assert ring.since(8.0) == [(8.0, 80.0), (9.0, 90.0)]
+
+
+def test_quantile_from_buckets_interpolates():
+    # 10 observations uniform in (0, 10]: bounds 5 and 10, 5 in each
+    assert quantile_from_buckets([5.0, 10.0], [5, 5], 0, 0.5) == 5.0
+    assert quantile_from_buckets([5.0, 10.0], [5, 5], 0, 0.25) == 2.5
+    # overflow clamps to the last bound
+    assert quantile_from_buckets([5.0], [0], 3, 0.99) == 5.0
+    # empty window
+    assert quantile_from_buckets([5.0], [0], 0, 0.5) is None
+
+
+def test_store_derives_rates_gauges_and_quantiles():
+    registry = MetricsRegistry()
+    store = TimeSeriesStore(capacity=16)
+    registry.counter("c").inc(5)
+    registry.gauge("g").set(3.0)
+    hist = registry.histogram("h", buckets=[1.0, 2.0])
+
+    store.sample(registry, now=100.0)  # primes; gauges recorded
+    assert store.get("g").ring.points() == [(100.0, 3.0)]
+    assert store.get("c.rate") is None
+
+    registry.counter("c").inc(10)
+    for value in (0.5, 0.5, 1.5, 1.5):
+        hist.observe(value)
+    store.sample(registry, now=102.0)
+
+    rate_points = store.get("c.rate").ring.points()
+    assert rate_points == [(102.0, 5.0)]  # 10 increments / 2 s
+    assert store.get("h.rate").ring.points() == [(102.0, 2.0)]
+    p50 = store.get("h.p50").ring.last()[1]
+    assert 0.0 < p50 <= 1.0  # median of {0.5, 0.5, 1.5, 1.5} window
+    assert store.get("h.p99") is not None
+
+    # window semantics: an idle interval yields zero rates, not sums
+    store.sample(registry, now=104.0)
+    assert store.get("c.rate").ring.last() == (104.0, 0.0)
+
+
+def test_sampler_thread_and_hook():
+    registry = MetricsRegistry()
+    store = TimeSeriesStore()
+    calls = []
+
+    def hook(s, now):
+        calls.append(now)
+        registry.gauge("hooked").set(len(calls))
+
+    sampler = TimeSeriesSampler(store, registry, interval=0.05, hook=hook)
+    sampler.start()
+    time.sleep(0.2)
+    sampler.stop()
+    assert len(calls) >= 2
+    assert store.get("hooked") is not None
+    assert store.samples >= 2
+
+    # a broken hook must not kill sampling
+    def bad_hook(s, now):
+        raise RuntimeError("boom")
+
+    sampler2 = TimeSeriesSampler(store, registry, interval=0.05, hook=bad_hook)
+    assert sampler2.sample_once() >= 0
+
+
+# ---------------------------------------------------------------------------
+# SLOs
+# ---------------------------------------------------------------------------
+
+def test_parse_slo_full_and_defaults():
+    slo = parse_slo("lat:service.job.latency_s.p95<=2.5@0.99/120")
+    assert (slo.name, slo.series) == ("lat", "service.job.latency_s.p95")
+    assert (slo.objective, slo.op) == (2.5, "<=")
+    assert (slo.target, slo.window_s) == (0.99, 120.0)
+    slo = parse_slo("up:service.cache.hit_rate>=0.5")
+    assert (slo.op, slo.target, slo.window_s) == (">=", 0.95, 300.0)
+    # round trip
+    assert parse_slo(slo.to_spec()) == slo
+
+
+def test_parse_slo_rejects_garbage():
+    for bad in ("nope", "a:b", "a:b<=x", "a:b<=1@2", ""):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+    with pytest.raises(ValueError):
+        SLO("x", "s", 1.0, op="==")
+    with pytest.raises(ValueError):
+        SLO("x", "s", 1.0, target=0.0)
+
+
+def test_slo_statuses_over_ring_windows():
+    store = TimeSeriesStore()
+    slo = SLO("lat", "lat.p95", 1.0, "<=", target=0.9, window_s=100.0)
+    now = 1000.0
+    assert slo.evaluate(store, now)["status"] == "no_data"
+
+    for i in range(10):
+        store.record("lat.p95", 0.5, ts=now - 50 + i)
+    verdict = slo.evaluate(store, now)
+    assert verdict["status"] == "ok"
+    assert verdict["good_fraction"] == 1.0
+    assert verdict["burn_rate"] == 0.0
+
+    # one bad point in eleven -> bad_fraction 1/11, budget 0.1, burn
+    # ~0.91: budget nearly fully burning, which warns but not breaches
+    store.record("lat.p95", 5.0, ts=now - 10)
+    verdict = slo.evaluate(store, now)
+    assert verdict["status"] == "warn"
+    assert verdict["burn_rate"] == pytest.approx((1 / 11) / 0.1, abs=1e-3)
+
+    # majority bad -> breach
+    for i in range(8):
+        store.record("lat.p95", 9.0, ts=now - 5 + 0.1 * i)
+    assert slo.evaluate(store, now)["status"] == "breach"
+
+    # points outside the window are ignored
+    old = SLO("lat", "lat.p95", 1.0, "<=", window_s=1.0)
+    assert old.evaluate(store, now + 1000)["status"] == "no_data"
+
+
+def test_default_slos_cover_latency_errors_and_queue():
+    names = {slo.name for slo in default_slos()}
+    assert names == {"job_latency_p95", "error_rate", "queue_wait_p95"}
+
+
+def test_telemetry_hub_bounds_trace_registry():
+    hub = TelemetryHub(MetricsRegistry(), max_traces=3, max_trace_spans=10)
+    for i in range(7):
+        tracer = hub.job_tracer(f"job{i}", f"t{i}")
+        with tracer.span("s"):
+            pass
+    assert hub.trace_count() == 3
+    assert hub.evicted_traces == 4
+    assert hub.get_tracer("job0") is None
+    assert hub.get_tracer("job6").trace_id == "t6"
+    assert hub.span_count() == 3
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+
+def test_metrics_label_rendering_round_trips():
+    name = render_name("repro.jobs", {"state": "queued", "zone": "a"})
+    assert name == 'repro.jobs{state="queued",zone="a"}'
+    assert split_name(name) == ("repro.jobs", 'state="queued",zone="a"')
+    assert split_name("plain") == ("plain", None)
+
+
+def test_prometheus_text_help_type_and_labels():
+    registry = MetricsRegistry()
+    registry.describe("service.jobs.done", "jobs settled successfully")
+    registry.counter("service.jobs.done").inc(3)
+    registry.gauge("repro.jobs", labels={"state": "queued"}).set(2)
+    registry.gauge("repro.jobs", labels={"state": "running"}).set(1)
+    text = prometheus_text(registry)
+    assert "# HELP service_jobs_done jobs settled successfully" in text
+    assert "# TYPE service_jobs_done counter" in text
+    assert "service_jobs_done 3" in text
+    assert 'repro_jobs{state="queued"} 2' in text
+    assert 'repro_jobs{state="running"} 1' in text
+    # one family header even with two labelled series
+    assert text.count("# TYPE repro_jobs gauge") == 1
+
+
+def test_prometheus_histogram_exposition_is_cumulative():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=[1.0, 2.0])
+    for value in (0.5, 1.5, 1.5, 99.0):
+        hist.observe(value)
+    text = prometheus_text(registry)
+    assert 'lat_bucket{le="1"} 1' in text
+    assert 'lat_bucket{le="2"} 3' in text
+    assert 'lat_bucket{le="+Inf"} 4' in text
+    assert text.count("+Inf") == 1  # no duplicate overflow line
+    assert "lat_count 4" in text
+    assert "# TYPE lat histogram" in text
+
+
+def test_prometheus_labelled_histogram_merges_le_label():
+    registry = MetricsRegistry()
+    registry.histogram(
+        "dur", buckets=[1.0], labels={"stage": "sta"}
+    ).observe(0.5)
+    text = prometheus_text(registry)
+    assert 'dur_bucket{stage="sta",le="1"} 1' in text
+    assert 'dur_sum{stage="sta"}' in text
+    assert 'dur_count{stage="sta"} 1' in text
+
+
+# ---------------------------------------------------------------------------
+# Daemon integration: trace isolation, HTTP surfaces, soak
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def daemon(tmp_path):
+    daemon = ServiceDaemon(
+        run_dir=str(tmp_path / "svc"),
+        workers=2,
+        timeseries_interval=0.1,
+    )
+    yield daemon
+    daemon.close(timeout=30.0)
+
+
+def _validate_perfetto(document):
+    """Schema + nesting checks on a Chrome trace-event document."""
+    assert set(document) >= {"traceEvents", "displayTimeUnit", "otherData"}
+    complete = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+    assert complete, "no complete events in trace"
+    by_tid = {}
+    for event in complete:
+        assert set(event) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        by_tid.setdefault(event["tid"], []).append(event)
+    # per thread, spans must nest: sorted by (ts, -dur), each event's
+    # interval is contained in any still-open ancestor's interval
+    for events in by_tid.values():
+        events.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for event in events:
+            end = event["ts"] + event["dur"]
+            while stack and event["ts"] >= stack[-1] - 1e-3:
+                stack.pop()
+            if stack:
+                assert end <= stack[-1] + 1e-3, "overlapping sibling spans"
+            stack.append(end)
+    return complete
+
+
+def test_concurrent_jobs_do_not_cross_contaminate(daemon):
+    job_a, _ = daemon.submit(JobSpec(design="counter", params={"width": 4}))
+    job_b, _ = daemon.submit(JobSpec(design="pipeline3"))
+    daemon.queue.wait(job_a.id, timeout=120.0)
+    daemon.queue.wait(job_b.id, timeout=120.0)
+
+    status_a = daemon.job_status(job_a.id)
+    status_b = daemon.job_status(job_b.id)
+    assert status_a["state"] == "done" and status_b["state"] == "done"
+    assert status_a["trace_id"] != status_b["trace_id"]
+
+    # result payloads carry their own trace IDs
+    assert daemon.job_result(job_a.id)["trace_id"] == status_a["trace_id"]
+    assert daemon.job_result(job_b.id)["trace_id"] == status_b["trace_id"]
+
+    # each per-job journal is stamped with exactly its own trace ID
+    for job, status in ((job_a, status_a), (job_b, status_b)):
+        events = read_journal(daemon.job_journal_path(job.id))
+        ids = {e.get("trace_id") for e in events}
+        assert ids == {status["trace_id"]}
+
+    # each tracer's spans mention only its own design's stages
+    for job, status in ((job_a, status_a), (job_b, status_b)):
+        document = daemon.job_trace(job.id)
+        assert document["otherData"]["trace_id"] == status["trace_id"]
+        for event in document["traceEvents"]:
+            if event.get("ph") == "X":
+                assert event["args"]["trace_id"] == status["trace_id"]
+
+
+def test_job_trace_matches_journal_stage_set(daemon):
+    job, _ = daemon.submit(JobSpec(design="counter", params={"width": 4}))
+    daemon.queue.wait(job.id, timeout=120.0)
+    document = daemon.job_trace(job.id)
+    complete = _validate_perfetto(document)
+    # cold run: every stage executes, so ``stage:`` spans alone cover
+    # the journal's stage set (warm runs would add ``cache:`` hits)
+    trace_stages = {
+        e["name"][len("stage:"):]
+        for e in complete
+        if e["name"].startswith("stage:")
+    }
+    journal_stages = {
+        e["stage"]
+        for e in read_journal(daemon.job_journal_path(job.id))
+        if e["event"] == "stage_end"
+    }
+    assert trace_stages == journal_stages
+    assert trace_stages  # the flow has stages
+
+
+def test_job_trace_errors(daemon):
+    with pytest.raises(KeyError):
+        daemon.job_trace("ffffffffffff")
+
+
+def test_telemetry_disabled_daemon_still_works(tmp_path):
+    daemon = ServiceDaemon(
+        run_dir=str(tmp_path / "svc"), workers=1, telemetry=False
+    )
+    try:
+        job, _ = daemon.submit(JobSpec(design="counter", params={"width": 4}))
+        daemon.queue.wait(job.id, timeout=120.0)
+        assert daemon.job_status(job.id)["state"] == "done"
+        with pytest.raises(LookupError):
+            daemon.timeseries_snapshot()
+        with pytest.raises(LookupError):
+            daemon.job_trace(job.id)
+        with pytest.raises(LookupError):
+            daemon.dashboard_page()
+        assert "slos" not in daemon.health()
+    finally:
+        daemon.close(timeout=30.0)
+
+
+def test_http_trace_timeseries_dashboard_round_trip(daemon):
+    server = make_server(daemon).start_background()
+    try:
+        client = ServiceClient(server.url)
+        ticket = client.submit({"design": "counter", "params": {"width": 4}})
+        client.wait(ticket["id"], timeout=120.0)
+
+        document = client.trace(ticket["id"])
+        complete = _validate_perfetto(document)
+        assert document["otherData"]["job"] == ticket["id"]
+        assert any(e["name"].startswith("stage:") for e in complete)
+
+        time.sleep(0.3)  # let the 0.1 s sampler take a few samples
+        series = client.timeseries()
+        assert series["samples"] >= 2
+        assert series["series"], "no series sampled"
+        assert any(
+            name.endswith(".rate") for name in series["series"]
+        )
+        assert 'repro.jobs{state="done"}' in series["series"]
+
+        health = client.health()
+        assert "slos" in health
+        assert {o["name"] for o in health["slos"]["objectives"]} == {
+            "job_latency_p95", "error_rate", "queue_wait_p95",
+        }
+
+        html = client.dashboard()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "/timeseries" in html and "sparkline" in html
+
+        with pytest.raises(ServiceClientError) as err:
+            client.trace("ffffffffffff")
+        assert err.value.status == 404
+    finally:
+        server.stop()
+
+
+def test_dashboard_html_is_self_contained():
+    html = dashboard_html(poll_ms=1234)
+    assert "1234" in html
+    # zero external assets: no http(s) fetches outside the API polls
+    assert "<script src" not in html and "<link" not in html
+    for endpoint in ("/timeseries", "/health", "/jobs", "/metrics"):
+        assert endpoint in html
+
+
+def test_soak_many_jobs_keep_telemetry_memory_flat(tmp_path):
+    """>=50 sequential jobs: spans, traces and series stay bounded."""
+    daemon = ServiceDaemon(
+        run_dir=str(tmp_path / "svc"),
+        workers=1,
+        timeseries_interval=0.05,
+        max_traces=16,
+        max_trace_spans=200,
+    )
+    try:
+        span_counts = []
+        for i in range(50):
+            job, _ = daemon.submit(
+                JobSpec(design="counter", params={"width": 4}), reuse=False
+            )
+            settled = daemon.queue.wait(job.id, timeout=120.0)
+            assert settled.state.value == "done"
+            span_counts.append(daemon.telemetry.span_count())
+        # trace registry bounded: at most max_traces tracers retained
+        assert daemon.telemetry.trace_count() <= 16
+        assert daemon.telemetry.evicted_traces >= 50 - 16
+        # retained spans plateau instead of growing linearly with jobs:
+        # once 16 tracers are live, each new job evicts one, so the
+        # count stops rising (warm jobs record fewer spans than cold)
+        assert span_counts[-1] <= 16 * 200
+        assert max(span_counts[-10:]) <= max(span_counts[:20])
+        # series memory: every ring respects the store capacity
+        snapshot = daemon.timeseries_snapshot()
+        assert snapshot["series"]
+        for series in snapshot["series"].values():
+            assert len(series["points"]) <= snapshot["capacity"]
+        # and the SLO verdicts are live
+        health = daemon.health()
+        statuses = {
+            o["status"] for o in health["slos"]["objectives"]
+        }
+        assert statuses <= {"ok", "warn", "breach", "no_data"}
+        assert health["slos"]["status"] in ("ok", "warn", "breach", "no_data")
+    finally:
+        daemon.close(timeout=30.0)
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing
+# ---------------------------------------------------------------------------
+
+def test_serve_parser_accepts_telemetry_flags():
+    from repro.service.cli import build_service_parser
+
+    parser = build_service_parser()
+    args = parser.parse_args(
+        [
+            "serve",
+            "--slo", "lat:service.job.latency_s.p95<=2.0@0.99/120",
+            "--slo", "err:service.jobs.failed.rate<=0.01",
+            "--timeseries-interval", "0.5",
+            "--timeseries-capacity", "1200",
+            "--max-trace-spans", "999",
+            "--no-telemetry",
+        ]
+    )
+    assert len(args.slo) == 2
+    assert args.timeseries_interval == 0.5
+    assert args.timeseries_capacity == 1200
+    assert args.max_trace_spans == 999
+    assert args.no_telemetry is True
+    parsed = [parse_slo(spec) for spec in args.slo]
+    assert parsed[0].window_s == 120.0
+
+
+def test_trace_verb_parses():
+    from repro.cli import SERVICE_COMMANDS as MAIN_COMMANDS
+    from repro.service.cli import SERVICE_COMMANDS, build_service_parser
+
+    assert "trace" in SERVICE_COMMANDS
+    assert "trace" in MAIN_COMMANDS  # the main CLI routes the verb too
+    args = build_service_parser().parse_args(
+        ["trace", "abc123", "--out", "t.json"]
+    )
+    assert args.command == "trace"
+    assert args.job_id == "abc123"
+    assert args.out == "t.json"
