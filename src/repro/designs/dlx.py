@@ -335,6 +335,10 @@ class _Dlx:
         zero = self.module.constant_net(0).name
         current = list(a)
         fill = a[-1] if arithmetic else zero
+        # each variant needs its own net-name prefix: the logical and
+        # arithmetic right shifters would otherwise both emit shr* nets
+        # and end up as two mux banks fighting over the same wires
+        kind = "l" if left else ("a" if arithmetic else "r")
         for stage, select in enumerate(shamt[: min(5, len(shamt))]):
             amount = 1 << stage
             if left:
@@ -343,7 +347,7 @@ class _Dlx:
                 shifted = current[amount:] + [fill] * min(amount, len(current))
             shifted = shifted[: len(current)]
             current = b.mux_bus(current, shifted, select,
-                                name=f"sh{'l' if left else 'r'}{stage}")
+                                name=f"sh{kind}{stage}")
         return current
 
     def _multiplier(self, a: List[str], bb: List[str]) -> List[str]:

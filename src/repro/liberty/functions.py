@@ -559,6 +559,184 @@ def compile_function_indexed(
     return fn
 
 
+# ----------------------------------------------------------------------
+# lane-plane evaluators (the batch simulator's bit-parallel tier)
+# ----------------------------------------------------------------------
+#
+# The batch simulator (:mod:`repro.sim.batch`) packs one Monte-Carlo
+# chip per bit lane of arbitrary-width Python ints.  Every 3-valued
+# signal becomes *two planes*: a value plane and an x plane, one bit
+# per lane -- a lane is unknown when its x bit is set, and its value
+# bit is then kept 0 (the normalization invariant ``v & x == 0`` every
+# generated evaluator preserves).  One pass of mask arithmetic then
+# evaluates a cell function for all lanes at once::
+#
+#     NOT: v' = M & ~(v | x)            x' = x
+#     AND: v' = v1 & v2                 x' = (x1|x2) & (v1|x1) & (v2|x2)
+#     OR : v' = v1 | v2                 x' = (x1|x2) & ~(v1|v2)
+#     XOR: x' = x1 | x2                 v' = (v1 ^ v2) & ~x'
+#
+# where ``M`` is the full lane mask.  The AND/OR x-plane terms encode
+# the same dominance rules :func:`evaluate` applies per scalar: a
+# definite 0 kills an AND's unknowns, a definite 1 an OR's.
+
+#: sentinel plane pair for a pin the caller never bound: every lane X
+_LANES_UNKNOWN = (0, -1)
+
+
+def pack_lanes(values: Sequence[Value]) -> Tuple[int, int]:
+    """Pack per-lane 3-valued scalars into a ``(value, x)`` plane pair."""
+    value_plane = 0
+    x_plane = 0
+    for lane, value in enumerate(values):
+        if value is None:
+            x_plane |= 1 << lane
+        elif value:
+            value_plane |= 1 << lane
+    return value_plane, x_plane
+
+
+def unpack_lane(planes: Tuple[int, int], lane: int) -> Value:
+    """The 3-valued scalar one lane of a plane pair holds."""
+    bit = 1 << lane
+    if planes[1] & bit:
+        return None
+    return 1 if planes[0] & bit else 0
+
+
+def unpack_lanes(planes: Tuple[int, int], lanes: int) -> List[Value]:
+    """Per-lane 3-valued scalars of a plane pair (LSB lane first)."""
+    value_plane, x_plane = planes
+    out: List[Value] = []
+    for lane in range(lanes):
+        bit = 1 << lane
+        if x_plane & bit:
+            out.append(None)
+        elif value_plane & bit:
+            out.append(1)
+        else:
+            out.append(0)
+    return out
+
+
+class _LaneEmitter:
+    """Emit statements combining ``(value, x)`` plane locals bitwise."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self._temp = 0
+
+    def emit(
+        self, expr: Expr, loads: Dict[str, Tuple[str, str]]
+    ) -> Tuple[str, str]:
+        if isinstance(expr, Const):
+            return ("M", "0") if expr.value else ("0", "0")
+        if isinstance(expr, Var):
+            return loads[expr.name]
+        if isinstance(expr, Not):
+            value, unknown = self.emit(expr.arg, loads)
+            return (self._assign(f"M & ~({value} | {unknown})"), unknown)
+        pairs = [self.emit(arg, loads) for arg in expr.args]
+        values = [pair[0] for pair in pairs]
+        unknowns = [pair[1] for pair in pairs]
+        if expr.kind == "and":
+            value = self._assign(" & ".join(values))
+            not_zero = " & ".join(f"({v} | {x})" for v, x in pairs)
+            unknown = self._assign(f"({' | '.join(unknowns)}) & {not_zero}")
+        elif expr.kind == "or":
+            value = self._assign(" | ".join(values))
+            unknown = self._assign(f"({' | '.join(unknowns)}) & ~{value}")
+        else:  # xor: any unknown lane poisons that lane
+            unknown = self._assign(" | ".join(unknowns))
+            value = self._assign(f"({' ^ '.join(values)}) & ~{unknown}")
+        return (value, unknown)
+
+    def _assign(self, rhs: str) -> str:
+        name = f"t{self._temp}"
+        self._temp += 1
+        self.lines.append(f"    {name} = {rhs}")
+        return name
+
+
+def _finish_lanes(
+    expr: Expr,
+    lines: List[str],
+    loads: Dict[str, Tuple[str, str]],
+    namespace: Dict[str, object],
+) -> Callable:
+    emitter = _LaneEmitter()
+    value, unknown = emitter.emit(expr, loads)
+    lines.extend(emitter.lines)
+    lines.append(f"    return ({value}, {unknown})")
+    fn = _compile_source("\n".join(lines) + "\n", "lanes", namespace)
+    metrics.counter("liberty.fn.compiled_lanes").inc()
+    fn.kind = "lanes"  # type: ignore[attr-defined]
+    fn.expr = expr  # type: ignore[attr-defined]
+    fn.inputs = expr_inputs(expr)  # type: ignore[attr-defined]
+    return fn
+
+
+@lru_cache(maxsize=None)
+def compile_function_lanes(
+    text: str,
+) -> Callable[[Dict[str, Tuple[int, int]], int], Tuple[int, int]]:
+    """Compile a function to a lane-parallel two-plane evaluator.
+
+    The returned ``fn(planes, mask)`` reads a pin-name -> ``(value, x)``
+    plane-pair dict and evaluates every lane of the batch in one pass
+    of bitwise ops, returning the output plane pair.  Missing pins read
+    as all-lanes-X, and input planes are renormalized on load (masked
+    to ``mask`` with ``v & x == 0``) so arbitrary ints are safe to pass.
+    Memoized by source text like :func:`compile_function`.
+    """
+    expr = parse_function(text)
+    names = tuple(sorted(expr_inputs(expr)))
+    lines = ["def _fn(planes, M):"]
+    if names:
+        lines.append("    _g = planes.get")
+    loads: Dict[str, Tuple[str, str]] = {}
+    for i, name in enumerate(names):
+        lines.append(f"    _p = _g({name!r}, _XU)")
+        lines.append(f"    x{i} = _p[1] & M")
+        lines.append(f"    v{i} = _p[0] & M & ~x{i}")
+        loads[name] = (f"v{i}", f"x{i}")
+    return _finish_lanes(expr, lines, loads, {"_XU": _LANES_UNKNOWN})
+
+
+@lru_cache(maxsize=None)
+def compile_function_lanes_indexed(
+    text: str, slots: Tuple[str, ...]
+) -> Callable[[List[int], int], Tuple[int, int]]:
+    """Lane-plane evaluator over a flat slot list (the batch kernel tier).
+
+    The batch simulator keeps one flat list per cell instance holding
+    the plane pair of every pin at a fixed position: slot ``k``'s value
+    plane at ``2k``, its x plane at ``2k + 1``.  The generated
+    ``fn(env, mask)`` reads those C-level list indexes directly; the
+    kernel maintains the ``v & x == 0`` invariant, so no renormalizing
+    loads are emitted.  Pins without a slot read as all-lanes-X.
+    Memoized by ``(text, slots)`` so instances of a cell share one
+    evaluator, exactly like :func:`compile_function_indexed`.
+    """
+    expr = parse_function(text)
+    names = tuple(sorted(expr_inputs(expr)))
+    index = {name: i for i, name in enumerate(slots)}
+    lines = ["def _fn(e, M):"]
+    loads: Dict[str, Tuple[str, str]] = {}
+    for i, name in enumerate(names):
+        slot = index.get(name)
+        if slot is None:
+            lines.append(f"    v{i} = 0")
+            lines.append(f"    x{i} = M")
+        else:
+            lines.append(f"    v{i} = e[{2 * slot}]")
+            lines.append(f"    x{i} = e[{2 * slot + 1}]")
+        loads[name] = (f"v{i}", f"x{i}")
+    fn = _finish_lanes(expr, lines, loads, {})
+    fn.slots = slots  # type: ignore[attr-defined]
+    return fn
+
+
 @lru_cache(maxsize=None)
 def reference_function(text: str) -> Callable[[Dict[str, Value]], Value]:
     """The pre-compilation evaluator: a recursive AST walk per call.

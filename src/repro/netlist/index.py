@@ -18,7 +18,8 @@ name-cleaning pass) must call ``Module.invalidate_indexes()``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..obs import metrics
 from .core import CellInfoProvider, Module, PinRef, PortDirection, bus_base
@@ -120,6 +121,57 @@ class ConnectivityIndex:
                     seen.add(ref.instance)
                     out.append(ref.instance)
         return out
+
+    # ------------------------------------------------------------------
+    def topo_order(self, sources: Iterable[str] = ()) -> List[str]:
+        """Instances in combinational topological order (Kahn's algorithm).
+
+        ``sources`` names instances whose outputs are treated as primary
+        inputs -- sequential elements, handshake controllers -- so they
+        are excluded from the order and contribute no dependency edges.
+        The batch simulator levelizes its combinational cloud this way
+        once, then evaluates a whole cycle as a single ordered sweep.
+
+        Deterministic: ties break by module insertion order.  Raises
+        ``ValueError`` on a combinational cycle, naming sample members
+        (a self-loop counts as a cycle).
+        """
+        source_set = set(sources)
+        module = self.module
+        pin_direction = self.cell_info.pin_direction
+        order = [name for name in module.instances if name not in source_set]
+        in_cloud = set(order)
+        preds: Dict[str, Set[str]] = {}
+        succs: Dict[str, List[str]] = {name: [] for name in order}
+        for name in order:
+            instance = module.instances[name]
+            pred_set: Set[str] = set()
+            for pin, net in instance.pins.items():
+                if pin_direction(instance.cell, pin) != PortDirection.INPUT:
+                    continue
+                for ref in self.connections_of(net)[0]:
+                    if ref.instance in in_cloud:
+                        pred_set.add(ref.instance)
+            preds[name] = pred_set
+        for name in order:
+            for pred in preds[name]:
+                succs[pred].append(name)
+        indegree = {name: len(preds[name]) for name in order}
+        ready = deque(name for name in order if not indegree[name])
+        result: List[str] = []
+        while ready:
+            name = ready.popleft()
+            result.append(name)
+            for succ in succs[name]:
+                indegree[succ] -= 1
+                if not indegree[succ]:
+                    ready.append(succ)
+        if len(result) != len(order):
+            stuck = [name for name in order if indegree[name]]
+            sample = ", ".join(stuck[:5]) + (" ..." if len(stuck) > 5 else "")
+            raise ValueError(f"combinational cycle through {sample}")
+        metrics.counter("netlist.index.topo_orders").inc()
+        return result
 
     def stats(self) -> Dict[str, int]:
         return {

@@ -1,6 +1,12 @@
 """Event-driven simulation, testbenches and flow-equivalence checking."""
 
 from .simulator import CaptureEvent, SimulationError, Simulator, Value
+from .batch import (
+    BatchSimulator,
+    assert_lane_parity,
+    batch_capture_run,
+    solo_capture_sequences,
+)
 from .testbench import (
     HandshakeResult,
     HandshakeTestbench,
@@ -21,6 +27,7 @@ from .probes import (
 )
 
 __all__ = [
+    "BatchSimulator",
     "CaptureEvent",
     "DeadlockWatchdog",
     "FlowEquivalenceReport",
@@ -32,9 +39,12 @@ __all__ = [
     "StimulusFn",
     "SyncTestbench",
     "Value",
+    "assert_lane_parity",
+    "batch_capture_run",
     "check_flow_equivalence",
     "handshake_report",
     "initialize_registers",
+    "solo_capture_sequences",
     "run_desynchronized",
     "run_synchronous",
 ]

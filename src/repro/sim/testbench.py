@@ -46,8 +46,20 @@ class SyncTestbench:
         simulator.set_input(clock, 0)
 
     def run_cycles(self, n: int, stimulus: Optional[StimulusFn] = None) -> None:
-        """Run ``n`` clock cycles; inputs change shortly after each edge."""
+        """Run ``n`` clock cycles; inputs change shortly after each edge.
+
+        A :class:`~repro.sim.batch.BatchSimulator` (detected by its
+        ``is_batch`` marker) takes the cycle-based path: the same
+        stimulus schedule -- inputs settle while the clock is low --
+        collapsed to one ``step_cycle`` per clock, driving every lane.
+        """
         sim = self.simulator
+        if getattr(sim, "is_batch", False):
+            for _ in range(n):
+                inputs = stimulus(self.cycle) if stimulus is not None else None
+                sim.step_cycle(inputs, clock=self.clock)
+                self.cycle += 1
+            return
         for _ in range(n):
             if stimulus is not None:
                 for port, value in stimulus(self.cycle).items():

@@ -2,18 +2,22 @@
 
 from .montecarlo import (
     ChipSample,
+    SimBackendConfig,
     VariabilityModel,
     VariabilityStudy,
     desynchronized_period,
+    lane_batches,
     run_study,
     synchronous_period,
 )
 
 __all__ = [
     "ChipSample",
+    "SimBackendConfig",
     "VariabilityModel",
     "VariabilityStudy",
     "desynchronized_period",
+    "lane_batches",
     "run_study",
     "synchronous_period",
 ]

@@ -19,8 +19,9 @@ from __future__ import annotations
 import hashlib
 import math
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs import metrics, trace
 
@@ -140,12 +141,56 @@ def desynchronized_period(
     )
 
 
+def lane_batches(
+    chips: Sequence[ChipSample], lanes: int
+) -> List[List[ChipSample]]:
+    """Split chips into lane-sized batches (the last may be short).
+
+    One batch maps onto one :class:`~repro.sim.batch.BatchSimulator`
+    pass: chip ``j`` of a batch rides bit lane ``j``.
+    """
+    if lanes < 1:
+        raise ValueError("lane count must be >= 1")
+    return [list(chips[i : i + lanes]) for i in range(0, len(chips), lanes)]
+
+
+@dataclass
+class SimBackendConfig:
+    """What ``run_study(backend="sim")`` needs to run gate-level batches.
+
+    ``regions`` maps a region name to ``(nominal delay, member
+    instances)`` -- typically derived from a ``DesyncResult`` region
+    map with per-region STA periods; without it the whole design is one
+    region at the study's nominal period.  ``oracle_chips`` solo-runs
+    that many chips of the first batch on the per-chip compiled kernel
+    and insists on bit-identical captures (the lane-parity oracle).
+    """
+
+    module: object
+    library: object
+    stimulus_factory: Optional[Callable] = None
+    cycles: int = 24
+    clock: str = "clk"
+    corner: str = "worst"
+    regions: Optional[Dict[str, Tuple[float, Sequence[str]]]] = None
+    oracle_chips: int = 0
+    #: clock period for the solo oracle runs (default: roomy multiple
+    #: of the nominal period so derated chips still settle)
+    period: Optional[float] = None
+
+
 @dataclass
 class VariabilityStudy:
     """Result of a sync-vs-desync Monte-Carlo comparison (Figure 5.4)."""
 
     sync_period: float
     desync_periods: List[float]
+    #: delay-element safety margin the periods were computed with
+    margin: float = 0.0
+    #: "model" (analytic) or "sim" (lane-batched gate-level simulation)
+    backend: str = "model"
+    #: batch-simulation counters when ``backend == "sim"``
+    sim_stats: Optional[Dict[str, float]] = None
 
     @property
     def fraction_desync_faster(self) -> float:
@@ -156,7 +201,48 @@ class VariabilityStudy:
     def mean_desync_period(self) -> float:
         return sum(self.desync_periods) / max(len(self.desync_periods), 1)
 
+    def percentile(self, p: float) -> float:
+        """Linearly interpolated percentile of the desync distribution.
+
+        ``p`` in percent: ``percentile(50)`` is the median effective
+        period, ``percentile(95)`` the near-worst die.
+        """
+        if not self.desync_periods:
+            raise ValueError("percentile of an empty study")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p!r} outside [0, 100]")
+        data = sorted(self.desync_periods)
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lower = int(math.floor(rank))
+        upper = min(lower + 1, len(data) - 1)
+        fraction = rank - lower
+        return data[lower] + (data[upper] - data[lower]) * fraction
+
+    def yield_vs_margin(
+        self, margins: Sequence[float]
+    ) -> List[Dict[str, float]]:
+        """Desync-beats-sync yield as a function of the safety margin.
+
+        Rebases each die's period by the margin this study was run with
+        and re-applies each candidate margin -- the margin is a pure
+        multiplicative factor (section 2.5), so no re-simulation is
+        needed to sweep it.
+        """
+        base = [p / (1.0 + self.margin) for p in self.desync_periods]
+        total = max(len(base), 1)
+        out = []
+        for margin in margins:
+            faster = sum(
+                1 for b in base if b * (1.0 + margin) < self.sync_period
+            )
+            out.append({"margin": margin, "yield": faster / total})
+        return out
+
     def histogram(self, bins: int = 20) -> List[Dict[str, float]]:
+        if not self.desync_periods:
+            return []
         low = min(self.desync_periods)
         high = max(self.desync_periods)
         if high <= low:
@@ -177,6 +263,160 @@ class VariabilityStudy:
         ]
 
 
+def _seq_instances(module, library) -> List[str]:
+    """Sequential instances of a module (the default region members)."""
+    from ..liberty.model import CellKind
+
+    out = []
+    for inst in module.instances.values():
+        cell = library.cells.get(inst.cell)
+        if cell is not None and cell.kind in (
+            CellKind.FLIP_FLOP,
+            CellKind.LATCH,
+        ):
+            out.append(inst.name)
+    return out
+
+
+def _region_activity(
+    batch, regions: Dict[str, Tuple[float, Sequence[str]]], mask: int
+) -> Dict[str, List[int]]:
+    """Per-region, per-edge lane planes of "this region computed".
+
+    A region is *active* at edge ``k`` in a lane when any member
+    flip-flop captured a different value (or x-ness) than at edge
+    ``k - 1`` -- its handshake cycle did real work, so that edge costs
+    the region's full delay.  Edge 0 is conservatively all-active.
+    """
+    planes = batch.capture_planes()
+    activity: Dict[str, List[int]] = {}
+    for name, (_, members) in regions.items():
+        sequences = [planes[m] for m in members if m in planes]
+        edges = min((len(s) for s in sequences), default=0)
+        lane_changes: List[int] = []
+        for k in range(edges):
+            if k == 0:
+                lane_changes.append(mask)
+                continue
+            changed = 0
+            for sequence in sequences:
+                _, prev_v, prev_x = sequence[k - 1]
+                _, cur_v, cur_x = sequence[k]
+                changed |= (prev_v ^ cur_v) | (prev_x ^ cur_x)
+            lane_changes.append(changed)
+        activity[name] = lane_changes
+    return activity
+
+
+def _chip_effective_period(
+    chip: ChipSample,
+    lane: int,
+    regions: Dict[str, Tuple[float, Sequence[str]]],
+    activity: Dict[str, List[int]],
+    margin: float,
+) -> float:
+    """One die's measured effective period from a lane-batched run.
+
+    The chip's ``instance_factors`` scale each region's nominal delay
+    (mean over member instances -- the matched delay element spans the
+    region); each clock edge then costs the slowest *active* region, or
+    the fastest region's delay when nothing computed (the handshake
+    still turns around).  Inter-die and tracking factors apply on top,
+    exactly as in :func:`desynchronized_period`.
+    """
+    scaled: Dict[str, float] = {}
+    for name, (delay, members) in regions.items():
+        factors = [chip.instance_factors.get(m, 1.0) for m in members]
+        factor = sum(factors) / len(factors) if factors else 1.0
+        scaled[name] = delay * factor
+    floor_delay = min(scaled.values())
+    bit = 1 << lane
+    edges = max((len(a) for a in activity.values()), default=0)
+    if edges == 0:
+        base = max(scaled.values())
+    else:
+        total = 0.0
+        for k in range(edges):
+            worst = 0.0
+            for name, lane_changes in activity.items():
+                if k < len(lane_changes) and lane_changes[k] & bit:
+                    if scaled[name] > worst:
+                        worst = scaled[name]
+            total += worst if worst > 0.0 else floor_delay
+        base = total / edges
+    return base * chip.inter_die * chip.tracking_mismatch * (1.0 + margin)
+
+
+def _sim_backend_periods(
+    nominal_period: float,
+    model: VariabilityModel,
+    chips: List[ChipSample],
+    margin: float,
+    sim: SimBackendConfig,
+    lanes: int,
+    regions: Dict[str, Tuple[float, Sequence[str]]],
+) -> Tuple[List[float], Dict[str, float]]:
+    """Measure every chip's effective period on the lane-batch kernel."""
+    from ..sim.batch import (
+        BatchSimulator,
+        assert_lane_parity,
+        solo_capture_sequences,
+    )
+    from ..sim.testbench import SyncTestbench, initialize_registers
+
+    periods: List[float] = []
+    stats = {
+        "chips": float(len(chips)),
+        "lanes": float(lanes),
+        "batches": 0.0,
+        "cycles": float(sim.cycles),
+        "cell_evals": 0.0,
+        "oracle_chips": float(sim.oracle_chips),
+    }
+    start = time.perf_counter()
+    oracle_period = sim.period or nominal_period * 4.0
+    for batch_index, batch_chips in enumerate(lane_batches(chips, lanes)):
+        batch = BatchSimulator(sim.module, sim.library, lanes=len(batch_chips))
+        initialize_registers(batch, 0)
+        bench = SyncTestbench(batch, clock=sim.clock)
+        stimulus = (
+            sim.stimulus_factory(batch)
+            if sim.stimulus_factory is not None
+            else None
+        )
+        bench.run_cycles(sim.cycles, stimulus)
+        activity = _region_activity(batch, regions, batch.mask)
+        for lane, chip in enumerate(batch_chips):
+            periods.append(
+                _chip_effective_period(chip, lane, regions, activity, margin)
+            )
+        stats["batches"] += 1.0
+        stats["cell_evals"] += float(batch.cell_evals)
+        if batch_index == 0 and sim.oracle_chips:
+            for lane, chip in enumerate(batch_chips[: sim.oracle_chips]):
+                derate_map = {
+                    name: chip.inter_die * factor
+                    for name, factor in chip.instance_factors.items()
+                }
+                solo = solo_capture_sequences(
+                    sim.module,
+                    sim.library,
+                    cycles=sim.cycles,
+                    stimulus_factory=sim.stimulus_factory,
+                    clock=sim.clock,
+                    period=oracle_period,
+                    corner=sim.corner,
+                    derate_map=derate_map,
+                )
+                assert_lane_parity(batch, lane, solo)
+    stats["sim_seconds"] = time.perf_counter() - start
+    stats["chips_per_second"] = (
+        len(chips) / stats["sim_seconds"] if stats["sim_seconds"] > 0 else 0.0
+    )
+    metrics.counter("variability.sim_batches").inc(int(stats["batches"]))
+    return periods, stats
+
+
 def run_study(
     nominal_period: float,
     model: Optional[VariabilityModel] = None,
@@ -184,20 +424,62 @@ def run_study(
     margin: float = 0.10,
     seed: int = 2006,
     jobs: int = 1,
+    backend: str = "model",
+    sim: Optional[SimBackendConfig] = None,
+    lanes: int = 64,
 ) -> VariabilityStudy:
     """Monte-Carlo comparison of sync worst-case vs desync per-die period.
 
     ``jobs`` fans the chip sampling out over a process pool; any value
     produces bit-identical results (per-chip seeds, order-preserving
     map).
+
+    ``backend="model"`` uses the analytic period model (the original
+    behaviour).  ``backend="sim"`` runs the design gate-level on the
+    bit-parallel :class:`~repro.sim.batch.BatchSimulator`, ``lanes``
+    chips per pass: each chip's ``instance_factors`` scale its region
+    delays and each clock edge costs the slowest region that actually
+    computed, so the distribution reflects measured per-die activity
+    rather than a closed-form factor.  Requires a
+    :class:`SimBackendConfig` via ``sim``.
     """
-    with trace.span("variability.run_study", chips=n_chips) as span:
+    if backend not in ("model", "sim"):
+        raise ValueError(f"unknown study backend {backend!r}")
+    if backend == "sim" and sim is None:
+        raise ValueError('backend="sim" requires a SimBackendConfig')
+    with trace.span(
+        "variability.run_study", chips=n_chips, backend=backend
+    ) as span:
         model = model or VariabilityModel()
-        chips = model.sample_chips(n_chips, seed=seed, jobs=jobs)
         sync = synchronous_period(nominal_period, model)
-        desync = [
-            desynchronized_period(nominal_period, chip, margin)
-            for chip in chips
-        ]
+        sim_stats: Optional[Dict[str, float]] = None
+        if backend == "model":
+            chips = model.sample_chips(n_chips, seed=seed, jobs=jobs)
+            desync = [
+                desynchronized_period(nominal_period, chip, margin)
+                for chip in chips
+            ]
+        else:
+            regions = dict(sim.regions) if sim.regions else {
+                "core": (
+                    nominal_period,
+                    _seq_instances(sim.module, sim.library),
+                )
+            }
+            members = sorted(
+                {name for _, names in regions.values() for name in names}
+            )
+            chips = model.sample_chips(
+                n_chips, seed=seed, instances=members, jobs=jobs
+            )
+            desync, sim_stats = _sim_backend_periods(
+                nominal_period, model, chips, margin, sim, lanes, regions
+            )
         span.set("sync_period", sync)
-    return VariabilityStudy(sync_period=sync, desync_periods=desync)
+    return VariabilityStudy(
+        sync_period=sync,
+        desync_periods=desync,
+        margin=margin,
+        backend=backend,
+        sim_stats=sim_stats,
+    )

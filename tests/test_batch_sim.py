@@ -1,0 +1,462 @@
+"""Tests for the bit-parallel lane simulator and the sim-backed MC study.
+
+The discipline mirrors the other kernels: the scalar AST ``evaluate()``
+and the per-chip compiled event kernel are the oracles, and the lane
+kernel must agree bit-for-bit --
+
+- lane-packed evaluation of random Liberty expressions equals per-lane
+  scalar evaluation for *all* 3-state input combinations (x-plane
+  propagation included), property-based plus exhaustive;
+- vectorized FF machines under per-lane reset/enable masks track solo
+  event-kernel runs of each lane's stimulus;
+- a DLX lane batch reproduces solo ``kernel="compiled"`` captures in
+  every lane (the parity oracle from the acceptance criteria);
+- ``run_study(backend="sim")`` is deterministic and carries the same
+  headline fraction as the analytic model;
+- satellite regressions: empty-histogram fix, ``percentile``,
+  ``yield_vs_margin``, ``topo_order`` cycle detection.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.designs import DlxMemories, assemble, dlx_core
+from repro.designs.dlx_env import dlx_respond
+from repro.designs.simple import pipeline3
+from repro.liberty import core9_hs
+from repro.liberty.functions import (
+    Const,
+    Not,
+    Op,
+    Var,
+    compile_function_lanes,
+    compile_function_lanes_indexed,
+    evaluate,
+    expr_inputs,
+    expr_to_text,
+    pack_lanes,
+    unpack_lane,
+    unpack_lanes,
+)
+from repro.netlist import ConnectivityIndex, Module, PortDirection
+from repro.sim import (
+    BatchSimulator,
+    SimulationError,
+    Simulator,
+    SyncTestbench,
+    assert_lane_parity,
+    batch_capture_run,
+    initialize_registers,
+    solo_capture_sequences,
+)
+from repro.sim.batch import _LibraryCellInfo
+from repro.variability import (
+    SimBackendConfig,
+    VariabilityModel,
+    VariabilityStudy,
+    lane_batches,
+    run_study,
+)
+
+LIB = core9_hs()
+DOMAIN = (0, 1, None)
+
+
+# ----------------------------------------------------------------------
+# lane evaluators vs the scalar oracle
+# ----------------------------------------------------------------------
+
+_NAMES = ("a", "b", "c", "d")
+
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            st.sampled_from([Var(n) for n in _NAMES]),
+            st.sampled_from([Const(0), Const(1)]),
+        )
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        sub,
+        st.builds(Not, sub),
+        st.builds(
+            lambda kind, args: Op(kind, tuple(args)),
+            st.sampled_from(["and", "or", "xor"]),
+            st.lists(sub, min_size=2, max_size=3),
+        ),
+    )
+
+
+def _assert_lane_oracle(expr):
+    """Every 3-state combo, packed across lanes, equals scalar evaluate."""
+    text = expr_to_text(expr)
+    names = sorted(expr_inputs(expr))
+    fn = compile_function_lanes(text)
+    slots = tuple(names)
+    fn_indexed = compile_function_lanes_indexed(text, slots)
+    combos = list(itertools.product(DOMAIN, repeat=len(names)))
+    # chunk so lane counts beyond 64 are exercised only when needed
+    for start in range(0, len(combos), 64):
+        chunk = combos[start : start + 64]
+        lanes = len(chunk)
+        mask = (1 << lanes) - 1
+        planes = {
+            name: pack_lanes([combo[i] for combo in chunk])
+            for i, name in enumerate(names)
+        }
+        value_plane, x_plane = fn(planes, mask)
+        assert value_plane & x_plane == 0, "plane invariant broken"
+        got = unpack_lanes((value_plane, x_plane), lanes)
+        want = [evaluate(expr, dict(zip(names, combo))) for combo in chunk]
+        assert got == want
+        env = []
+        for name in slots:
+            env.extend(planes[name])
+        assert fn_indexed(env, mask) == (value_plane, x_plane)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_exprs(3))
+def test_lane_eval_matches_scalar_oracle(expr):
+    _assert_lane_oracle(expr)
+
+
+def test_lane_eval_core9_functions_exhaustive():
+    """Every function in the real library, every 3-state combination."""
+    for cell in LIB.cells.values():
+        for pin in cell.pins.values():
+            if pin.function:
+                from repro.liberty.functions import parse_function
+
+                _assert_lane_oracle(parse_function(pin.function))
+
+
+def test_lane_eval_x_dominance():
+    """Definite values kill unknowns exactly as the scalar rules say."""
+    fn_and = compile_function_lanes("A * B")
+    fn_or = compile_function_lanes("A + B")
+    # lane 0: A=0, B=X -> 0;  lane 1: A=1, B=X -> X
+    planes = {"A": pack_lanes([0, 1]), "B": pack_lanes([None, None])}
+    assert unpack_lanes(fn_and(planes, 3), 2) == [0, None]
+    # lane 0: A=0, B=X -> X;  lane 1: A=1, B=X -> 1
+    assert unpack_lanes(fn_or(planes, 3), 2) == [None, 1]
+    # missing pin reads as all-lanes-X
+    assert unpack_lanes(fn_and({"A": pack_lanes([1, 0])}, 3), 2) == [None, 0]
+
+
+def test_pack_unpack_roundtrip():
+    values = [0, 1, None, 1, 0, None, None, 1]
+    planes = pack_lanes(values)
+    assert unpack_lanes(planes, len(values)) == values
+    assert [unpack_lane(planes, i) for i in range(len(values))] == values
+
+
+# ----------------------------------------------------------------------
+# topo order
+# ----------------------------------------------------------------------
+
+
+def _chain_module():
+    m = Module("chain")
+    m.add_port("clk", PortDirection.INPUT)
+    m.add_port("a", PortDirection.INPUT)
+    m.add_port("y", PortDirection.OUTPUT)
+    m.add_instance("g2", "INVX1", {"A": "n1", "Z": "n2"})
+    m.add_instance("g1", "INVX1", {"A": "a", "Z": "n1"})
+    m.add_instance("ff", "DFFX1", {"D": "n2", "CK": "clk", "Q": "q"})
+    m.add_instance("g3", "INVX1", {"A": "q", "Z": "y"})
+    return m
+
+
+def test_topo_order_levelizes_comb_cloud():
+    m = _chain_module()
+    index = ConnectivityIndex(m, _LibraryCellInfo(LIB))
+    order = index.topo_order(sources=["ff"])
+    assert "ff" not in order
+    assert order.index("g1") < order.index("g2")
+    assert set(order) == {"g1", "g2", "g3"}
+
+
+def test_topo_order_detects_combinational_cycle():
+    m = Module("loop")
+    m.add_instance("i1", "INVX1", {"A": "x", "Z": "y"})
+    m.add_instance("i2", "INVX1", {"A": "y", "Z": "x"})
+    index = ConnectivityIndex(m, _LibraryCellInfo(LIB))
+    with pytest.raises(ValueError, match="combinational cycle"):
+        index.topo_order()
+
+
+# ----------------------------------------------------------------------
+# batch kernel vs the event kernel
+# ----------------------------------------------------------------------
+
+
+def test_pipeline_per_lane_stimulus_parity():
+    """Different data in every lane == one solo run per lane."""
+    module = pipeline3(LIB, width=4)
+    lanes = 6
+    din = [f"din[{i}]" for i in range(4)]
+    lane_words = [
+        [3, 9, 14, 0, 7, 5, 1, 12],
+        [0, 0, 15, 15, 8, 8, 2, 2],
+        [1, 2, 3, 4, 5, 6, 7, 8],
+        [15, 14, 13, 12, 11, 10, 9, 8],
+        [5, 5, 5, 5, 5, 5, 5, 5],
+        [10, 0, 10, 0, 10, 0, 10, 0],
+    ]
+
+    batch = BatchSimulator(module, LIB, lanes=lanes)
+    initialize_registers(batch, 0)
+
+    def batch_stim(cycle):
+        return {
+            bit: [
+                (lane_words[lane][cycle % 8] >> i) & 1 for lane in range(lanes)
+            ]
+            for i, bit in enumerate(din)
+        }
+
+    SyncTestbench(batch, clock="clk").run_cycles(10, batch_stim)
+
+    for lane in range(lanes):
+        def solo_factory(sim, lane=lane):
+            def stim(cycle):
+                word = lane_words[lane][cycle % 8]
+                return {bit: (word >> i) & 1 for i, bit in enumerate(din)}
+
+            return stim
+
+        solo = solo_capture_sequences(
+            module, LIB, cycles=10, stimulus_factory=solo_factory
+        )
+        assert_lane_parity(batch, lane, solo)
+
+
+def _ff_mask_module():
+    """One async-clear FF and one sync-reset FF sharing clock and data."""
+    m = Module("ffmask")
+    for name in ("clk", "d", "cdn", "rn"):
+        m.add_port(name, PortDirection.INPUT)
+    m.add_port("qa", PortDirection.OUTPUT)
+    m.add_port("qs", PortDirection.OUTPUT)
+    m.add_instance(
+        "ff_async", "DFFCX1", {"D": "d", "CK": "clk", "CDN": "cdn", "Q": "qa"}
+    )
+    m.add_instance(
+        "ff_sync", "DFFRX1", {"D": "d", "CK": "clk", "RN": "rn", "Q": "qs"}
+    )
+    return m
+
+
+#: per-lane (d, cdn, rn) waveforms over 8 cycles: lane 0 runs free,
+#: lane 1 holds async clear mid-run, lane 2 pulses the sync reset,
+#: lane 3 inverts the data pattern
+_FF_LANES = [
+    {"d": [1, 0, 1, 1, 0, 1, 0, 1], "cdn": [1] * 8, "rn": [1] * 8},
+    {"d": [1, 1, 1, 1, 1, 1, 1, 1], "cdn": [1, 1, 0, 0, 1, 1, 1, 1],
+     "rn": [1] * 8},
+    {"d": [1, 0, 1, 0, 1, 0, 1, 0], "cdn": [1] * 8,
+     "rn": [1, 0, 0, 1, 1, 1, 0, 1]},
+    {"d": [0, 1, 0, 0, 1, 0, 1, 0], "cdn": [1] * 8, "rn": [1] * 8},
+]
+
+
+def test_ff_reset_enable_lane_masks():
+    """One machine evaluation clocks, clears and resets different lanes."""
+    module = _ff_mask_module()
+    lanes = len(_FF_LANES)
+    cycles = 8
+
+    batch = BatchSimulator(module, LIB, lanes=lanes)
+    initialize_registers(batch, 0)
+    bench = SyncTestbench(batch, clock="clk")
+
+    solos = []
+    for lane in range(lanes):
+        sim = Simulator(module, LIB)
+        initialize_registers(sim, 0)
+        solos.append((sim, SyncTestbench(sim, clock="clk", period=8.0)))
+
+    def batch_stim(cycle):
+        return {
+            port: [_FF_LANES[lane][port][cycle] for lane in range(lanes)]
+            for port in ("d", "cdn", "rn")
+        }
+
+    for cycle in range(cycles):
+        bench.run_cycles(1, batch_stim)
+        for lane, (sim, solo_bench) in enumerate(solos):
+            solo_bench.run_cycles(
+                1,
+                lambda c, lane=lane: {
+                    port: _FF_LANES[lane][port][c]
+                    for port in ("d", "cdn", "rn")
+                },
+            )
+            # state trajectory must agree in every lane, every cycle --
+            # including lanes held in async clear or sync reset
+            for net in ("qa", "qs"):
+                assert batch.value(net, lane) == sim.value(net), (
+                    f"cycle {cycle} lane {lane} net {net}"
+                )
+
+    # lanes that never assert the async clear also agree on the exact
+    # capture sequences (async-held lanes differ by design: the event
+    # kernel logs one capture per *event*, the batch one per boundary)
+    for lane in (0, 2, 3):
+        solo = solos[lane][0].capture_sequences()
+        assert batch.capture_sequences(lane) == solo
+
+
+def test_dlx_lane_parity_oracle():
+    """Acceptance criterion: every DLX lane == a solo compiled run."""
+    program = assemble([
+        ("addi", 1, 0, 5), ("addi", 2, 0, 7), ("nop",), ("nop",),
+        ("add", 3, 1, 2), ("sub", 4, 2, 1), ("nop",), ("nop",),
+    ])
+    module = dlx_core(LIB, registers=8, multiplier=False, width=16)
+    bits = module.port_bits()
+
+    def stim_factory(sim):
+        respond = dlx_respond(DlxMemories(program), width=16)
+
+        def stimulus(cycle):
+            return respond(cycle, {b: sim.net_values.get(b) for b in bits})
+
+        return stimulus
+
+    lanes = 16
+    batch = batch_capture_run(
+        module, LIB, cycles=12, lanes=lanes, stimulus_factory=stim_factory
+    )
+    solo = solo_capture_sequences(
+        module, LIB, cycles=12, stimulus_factory=stim_factory, period=12.0
+    )
+    assert solo, "oracle run produced no captures"
+    for lane in range(lanes):
+        assert_lane_parity(batch, lane, solo)
+
+
+def test_batch_rejects_bad_inputs():
+    module = pipeline3(LIB, width=2)
+    batch = BatchSimulator(module, LIB, lanes=4)
+    with pytest.raises(SimulationError, match="4 lanes"):
+        batch.set_input("din[0]", [0, 1])  # wrong per-lane length
+    with pytest.raises(SimulationError, match="unknown input"):
+        batch.set_input("no_such_net", 1)
+    with pytest.raises(SimulationError, match="lane count"):
+        BatchSimulator(module, LIB, lanes=0)
+
+
+def test_batch_rejects_multi_driven_nets():
+    m = Module("contention")
+    m.add_port("a", PortDirection.INPUT)
+    m.add_instance("i1", "INVX1", {"A": "a", "Z": "y"})
+    m.add_instance("i2", "INVX1", {"A": "a", "Z": "y"})
+    with pytest.raises(SimulationError, match="driven by both"):
+        BatchSimulator(m, LIB, lanes=2)
+
+
+# ----------------------------------------------------------------------
+# variability satellites
+# ----------------------------------------------------------------------
+
+
+def test_histogram_empty_study_returns_empty():
+    # regression: used to raise ValueError (min() of empty sequence)
+    assert VariabilityStudy(sync_period=10.0, desync_periods=[]).histogram() == []
+
+
+def test_percentile_and_yield_vs_margin():
+    study = VariabilityStudy(
+        sync_period=10.0,
+        desync_periods=[6.0, 7.0, 8.0, 9.0, 11.0],
+        margin=0.0,
+    )
+    assert study.percentile(0) == 6.0
+    assert study.percentile(100) == 11.0
+    assert study.percentile(50) == 8.0
+    assert study.percentile(25) == pytest.approx(7.0)
+    with pytest.raises(ValueError):
+        study.percentile(101)
+    with pytest.raises(ValueError):
+        VariabilityStudy(10.0, []).percentile(50)
+    table = study.yield_vs_margin([0.0, 0.30])
+    assert table[0] == {"margin": 0.0, "yield": 0.8}
+    # +30%: 6->7.8, 7->9.1 still beat 10.0; 8->10.4 does not
+    assert table[1] == {"margin": 0.30, "yield": 0.4}
+    # margin sweep rebases by the study's own margin
+    margined = VariabilityStudy(
+        sync_period=10.0, desync_periods=[9.9], margin=0.10
+    )
+    assert margined.yield_vs_margin([0.0])[0]["yield"] == 1.0
+
+
+def test_lane_batches_shapes():
+    chips = VariabilityModel().sample_chips(10, seed=1)
+    batches = lane_batches(chips, 4)
+    assert [len(b) for b in batches] == [4, 4, 2]
+    assert [c for b in batches for c in b] == chips
+    with pytest.raises(ValueError):
+        lane_batches(chips, 0)
+
+
+def test_run_study_sim_backend_deterministic_and_oracle_checked():
+    module = pipeline3(LIB, width=4)
+    din = [f"din[{i}]" for i in range(4)]
+
+    def stim_factory(sim):
+        def stim(cycle):
+            word = (3 * cycle + 1) % 16
+            return {bit: (word >> i) & 1 for i, bit in enumerate(din)}
+
+        return stim
+
+    config = SimBackendConfig(
+        module=module,
+        library=LIB,
+        stimulus_factory=stim_factory,
+        cycles=6,
+        oracle_chips=2,
+    )
+    model = VariabilityModel()
+    study = run_study(
+        10.0, model, n_chips=24, margin=0.10,
+        backend="sim", sim=config, lanes=8,
+    )
+    assert study.backend == "sim"
+    assert study.margin == 0.10
+    assert len(study.desync_periods) == 24
+    assert study.sim_stats["batches"] == 3.0
+    assert study.sim_stats["chips_per_second"] > 0
+    # sim-backed periods track the analytic model's factors: same sync
+    # threshold, per-die spread driven by the same sampled chips
+    assert study.sync_period == pytest.approx(10.0 * model.worst_case_factor())
+    assert 0.5 < study.fraction_desync_faster <= 1.0
+    again = run_study(
+        10.0, model, n_chips=24, margin=0.10,
+        backend="sim", sim=config, lanes=8,
+    )
+    assert again.desync_periods == study.desync_periods
+
+
+def test_run_study_backend_validation():
+    with pytest.raises(ValueError, match="unknown study backend"):
+        run_study(10.0, backend="spice")
+    with pytest.raises(ValueError, match="SimBackendConfig"):
+        run_study(10.0, backend="sim")
+
+
+def test_run_study_model_backend_unchanged():
+    study = run_study(10.0, VariabilityModel(), n_chips=200, margin=0.10)
+    assert study.backend == "model"
+    assert study.sim_stats is None
+    assert len(study.desync_periods) == 200
+    assert 0.5 < study.fraction_desync_faster <= 1.0
