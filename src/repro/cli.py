@@ -137,6 +137,21 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--top", help="top module name (default: first)")
     parser.add_argument(
+        "--eco",
+        metavar="EDITS_JSON",
+        help="after the flow, apply the netlist edits from this JSON "
+        "file through the incremental re-flow (cell swaps, wire "
+        "re-annotations, constants, small add/remove) and export the "
+        "patched result -- bit-identical to re-running from scratch",
+    )
+    parser.add_argument(
+        "--eco-verify",
+        choices=["none", "affected", "full"],
+        default="none",
+        help="re-simulate the handshake layer after --eco edits: only "
+        "the affected regions, or the whole design (default none)",
+    )
+    parser.add_argument(
         "--gatefile", help="also write the generated gatefile"
     )
     parser.add_argument(
@@ -246,6 +261,9 @@ def _print_summary(result, module, engine, cache) -> None:
                 delay,
                 element.length,
             )
+    if not engine.results:
+        # incremental (--eco) runs bypass the stage engine
+        return
     run = engine.results[-1]
     cached = len(run.cached_stages())
     log.info(
@@ -336,7 +354,34 @@ def _run_flow(args: argparse.Namespace) -> int:
         delay_mux_taps=args.mux_taps,
     )
     try:
-        result = tool.run(module, options)
+        if args.eco:
+            from .flow.incremental import IncrementalSession, load_edits
+
+            edits = load_edits(args.eco)
+            session = IncrementalSession(library, options, cache=cache)
+            result = session.start(module)
+            outcome = session.apply(edits, verify=args.eco_verify)
+            result = outcome.result
+            reused = sorted(
+                stage for stage, hit in outcome.reused.items() if hit
+            )
+            log.info(
+                "eco: %d edit(s) applied via the %s path; reused "
+                "stages: %s",
+                len(edits),
+                outcome.path,
+                ", ".join(reused) or "none",
+            )
+            if outcome.report is not None:
+                log.info(
+                    "eco verification: %d region(s) re-simulated%s",
+                    len(outcome.verified_regions),
+                    f", error: {outcome.report['error']}"
+                    if outcome.report.get("error")
+                    else "",
+                )
+        else:
+            result = tool.run(module, options)
 
         if args.gatefile:
             with open(args.gatefile, "w") as handle:

@@ -80,52 +80,121 @@ def _build_ddg(
     for net_name, net in module.nets.items():
         if net.is_constant or net_name in ignored:
             continue
-        driver_regions: Set[str] = set()
-        reader_regions: Set[str] = set()
-        sequential_driver = False
-        for ref in net.connections:
-            if ref.instance is None:
-                if ref.pin in port_bits_in:
-                    driver_regions.add(ENV)
-                elif ref.pin in port_bits_out:
-                    reader_regions.add(ENV)
-                continue
-            inst = module.instances[ref.instance]
-            info = gatefile.cells.get(inst.cell)
-            if info is None:
-                continue
-            pin = info.pins.get(ref.pin)
-            if pin is None or pin.is_clock:
-                continue
-            if (
-                ref.instance in env_instances
-                and pin.direction == PortDirection.OUTPUT
-            ):
-                driver_regions.add(ENV)
-                continue
-            region = region_map.region_of(ref.instance)
-            if region is None:
-                continue
-            if pin.direction == PortDirection.OUTPUT:
-                if inst.attributes.get("role") == "latch_master":
-                    # master->slave plumbing inside one flip-flop is not
-                    # a data dependency between regions
-                    continue
-                driver_regions.add(region)
-                if info.is_sequential:
-                    sequential_driver = True
-            elif pin.direction == PortDirection.INPUT:
-                reader_regions.add(region)
-        for source in driver_regions:
-            for target in reader_regions:
-                if source == target and source == ENV:
-                    continue
-                if source == target and not sequential_driver:
-                    # intra-region combinational net: not a dependency
-                    continue
-                if source != target or sequential_driver:
-                    graph.add_edge(source, target)
+        for source, target in _net_edges(
+            module,
+            gatefile,
+            region_map,
+            net,
+            env_instances,
+            port_bits_in,
+            port_bits_out,
+        ):
+            graph.add_edge(source, target)
     return graph
+
+
+def _net_edges(
+    module: Module,
+    gatefile: Gatefile,
+    region_map: RegionMap,
+    net,
+    env_instances: Set[str],
+    port_bits_in: Set[str],
+    port_bits_out: Set[str],
+) -> List[Tuple[str, str]]:
+    """The DDG edges contributed by one net (shared by build and patch)."""
+    driver_regions: Set[str] = set()
+    reader_regions: Set[str] = set()
+    sequential_driver = False
+    for ref in net.connections:
+        if ref.instance is None:
+            if ref.pin in port_bits_in:
+                driver_regions.add(ENV)
+            elif ref.pin in port_bits_out:
+                reader_regions.add(ENV)
+            continue
+        inst = module.instances[ref.instance]
+        info = gatefile.cells.get(inst.cell)
+        if info is None:
+            continue
+        pin = info.pins.get(ref.pin)
+        if pin is None or pin.is_clock:
+            continue
+        if (
+            ref.instance in env_instances
+            and pin.direction == PortDirection.OUTPUT
+        ):
+            driver_regions.add(ENV)
+            continue
+        region = region_map.region_of(ref.instance)
+        if region is None:
+            continue
+        if pin.direction == PortDirection.OUTPUT:
+            if inst.attributes.get("role") == "latch_master":
+                # master->slave plumbing inside one flip-flop is not
+                # a data dependency between regions
+                continue
+            driver_regions.add(region)
+            if info.is_sequential:
+                sequential_driver = True
+        elif pin.direction == PortDirection.INPUT:
+            reader_regions.add(region)
+    edges: List[Tuple[str, str]] = []
+    for source in driver_regions:
+        for target in reader_regions:
+            if source == target and source == ENV:
+                continue
+            if source == target and not sequential_driver:
+                # intra-region combinational net: not a dependency
+                continue
+            if source != target or sequential_driver:
+                edges.append((source, target))
+    return edges
+
+
+def patch_ddg(
+    graph: "nx.DiGraph",
+    module: Module,
+    gatefile: Gatefile,
+    region_map: RegionMap,
+    dirty_nets: Set[str],
+    false_path_nets: Tuple[str, ...] = (),
+    env_instances: Optional[Set[str]] = None,
+) -> bool:
+    """Confirm a cached DDG against the re-derived dirty-net edges.
+
+    Recomputes the edge contributions of exactly ``dirty_nets`` and
+    checks each against the cached graph.  Returns ``True`` when every
+    contribution is already present -- for a connectivity-preserving
+    edit that means the cached graph equals a full rebuild, because no
+    other net's contribution can have moved.  Returns ``False`` when a
+    dirty net now contributes an edge the graph lacks (or a dirty net's
+    region attribution is unknowable); edge *loss* cannot be decided
+    locally either way, so the caller must rebuild with
+    :func:`build_ddg`.  The graph itself is never mutated.
+    """
+    env_instances = env_instances or set()
+    ignored = set(false_path_nets)
+    port_bits_in = set(module.port_bits(PortDirection.INPUT))
+    port_bits_out = set(module.port_bits(PortDirection.OUTPUT))
+    for net_name in sorted(dirty_nets):
+        net = module.nets.get(net_name)
+        if net is None or net.is_constant or net_name in ignored:
+            continue
+        for source, target in _net_edges(
+            module,
+            gatefile,
+            region_map,
+            net,
+            env_instances,
+            port_bits_in,
+            port_bits_out,
+        ):
+            if not graph.has_edge(source, target):
+                metrics.counter("desync.ddg.patch_misses").inc()
+                return False
+    metrics.counter("desync.ddg.patch_hits").inc()
+    return True
 
 
 def predecessors_of(graph: "nx.DiGraph", region: str) -> List[str]:

@@ -188,6 +188,28 @@ def choose_length(
     )
 
 
+def element_length_for(
+    ladder: DelayLadder,
+    target_delay: float,
+    delay_margin: float = 0.10,
+    mux_taps: int = 0,
+    mux_headroom: float = 2.2,
+) -> int:
+    """The request-path element length the network would build.
+
+    The single source of the sizing rule shared by
+    :func:`repro.desync.network.insert_control_network` and the
+    incremental re-flow's ladder re-selection: multiplexed elements get
+    ``mux_headroom`` so calibration can sweep both sides of the matched
+    point, and a region with no combinational cloud still gets a
+    one-stage element.
+    """
+    if target_delay <= 0:
+        return 1
+    sizing_delay = target_delay * (mux_headroom if mux_taps > 1 else 1.0)
+    return choose_length(ladder, sizing_delay, delay_margin)
+
+
 @dataclass
 class DelayElement:
     """A placed delay element."""

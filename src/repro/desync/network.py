@@ -29,7 +29,13 @@ from ..sta.graph import build_timing_graph
 from .cmuller import build_cmuller
 from .controllers import ControllerInstance, place_controller
 from .ddg import ENV, predecessors_of, successors_of
-from .delays import DelayElement, DelayLadder, build_delay_element, choose_length
+from .delays import (
+    DelayElement,
+    DelayLadder,
+    build_delay_element,
+    choose_length,
+    element_length_for,
+)
 from .ffsub import master_enable_net, slave_enable_net
 from .regions import RegionMap
 
@@ -167,8 +173,15 @@ def insert_control_network(
     mux_headroom: float = 2.2,
     reset_port: str = "rst",
     corner: str = "worst",
+    precomputed_delays: Optional[Dict[str, float]] = None,
 ) -> ControlNetwork:
-    """Replace the clock network by the handshake controller network."""
+    """Replace the clock network by the handshake controller network.
+
+    ``precomputed_delays`` short-circuits the per-region critical-path
+    STA with delays the caller already knows (the incremental re-flow
+    computes them through the warm compiled graph before deciding
+    whether a full re-insertion is needed at all).
+    """
     chooser = chooser or GateChooser(library)
     network = ControlNetwork(reset_net=reset_port)
 
@@ -186,8 +199,10 @@ def insert_control_network(
     active_set = set(active)
 
     with trace.span("network.region_delays", regions=len(active)):
-        network.region_delays = region_delays(
-            module, library, region_map, corner
+        network.region_delays = (
+            dict(precomputed_delays)
+            if precomputed_delays is not None
+            else region_delays(module, library, region_map, corner)
         )
 
     # place the controller pairs first so every handshake net exists;
@@ -333,11 +348,8 @@ def insert_control_network(
             # multiplexed elements are built with headroom so the post-layout
             # calibration can sweep the selection both below and above the
             # matched point (the DLX experiment, Figure 5.3)
-            sizing_delay = target_delay * (mux_headroom if mux_taps > 1 else 1.0)
-            length = (
-                choose_length(ladder, sizing_delay, delay_margin)
-                if target_delay > 0
-                else 1
+            length = element_length_for(
+                ladder, target_delay, delay_margin, mux_taps, mux_headroom
             )
             element = build_delay_element(
                 module,
@@ -439,3 +451,49 @@ def _remove_dead_clock_port(module: Module, gatefile: Gatefile) -> None:
 def _looks_like_clock(name: str) -> bool:
     lowered = name.lower()
     return any(token in lowered for token in ("clk", "clock", "ck"))
+
+
+def diff_networks(
+    old: ControlNetwork, new: ControlNetwork
+) -> Dict[str, str]:
+    """Per-region structural comparison of two control networks.
+
+    Classifies every region of ``new`` as ``"reused"`` (same controller
+    gates, same request/ack element lengths and taps -- the incremental
+    flow kept the cached structure) or ``"resized"`` (the edit moved a
+    region's critical path across a ladder step, or changed its
+    controller complement).  Regions absent from ``old`` are
+    ``"new"``.  Drives the ``flow.incr.*`` dashboard counters.
+    """
+    out: Dict[str, str] = {}
+    old_regions = {region for region, _role in old.controllers}
+    new_regions = {region for region, _role in new.controllers}
+    for region in sorted(new_regions):
+        if region not in old_regions:
+            out[region] = "new"
+            continue
+        same = True
+        for role in ("master", "slave"):
+            old_ctl = old.controllers.get((region, role))
+            new_ctl = new.controllers.get((region, role))
+            if (old_ctl is None) != (new_ctl is None):
+                same = False
+            elif old_ctl is not None and (
+                old_ctl.gate_names != new_ctl.gate_names
+            ):
+                same = False
+        for mapping_old, mapping_new in (
+            (old.delay_elements, new.delay_elements),
+            (old.ack_delays, new.ack_delays),
+        ):
+            old_el = mapping_old.get(region)
+            new_el = mapping_new.get(region)
+            if (old_el is None) != (new_el is None):
+                same = False
+            elif old_el is not None and (
+                old_el.length != new_el.length
+                or old_el.taps != new_el.taps
+            ):
+                same = False
+        out[region] = "reused" if same else "resized"
+    return out

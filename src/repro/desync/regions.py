@@ -179,6 +179,228 @@ class _Connectivity:
         return out
 
 
+class _LocalConnectivity:
+    """Lazy, per-net slice of :class:`_Connectivity`.
+
+    :class:`_Connectivity` precomputes driver/reader maps for *every*
+    net -- the right trade for a full grouping pass, far too expensive
+    for an incremental cone check that touches a handful of nets.  This
+    variant answers the same queries (identical classification and
+    ordering) through the :class:`ConnectivityIndex`, computing only
+    what the caller asks for.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        gatefile: Gatefile,
+        false_path_nets: Iterable[str] = (),
+        index: Optional[ConnectivityIndex] = None,
+    ):
+        self.module = module
+        self.gatefile = gatefile
+        self.index = index if index is not None else ConnectivityIndex(
+            module, gatefile
+        )
+        self.ignored = set(false_path_nets)
+        self._bus_memo: Dict[str, Set[str]] = {}
+
+    def _live(self, net_name: str) -> bool:
+        net = self.module.nets.get(net_name)
+        return net is not None and not net.is_constant and (
+            net_name not in self.ignored
+        )
+
+    def drivers(self, net_name: str) -> List[str]:
+        if not self._live(net_name):
+            return []
+        return [
+            ref.instance
+            for ref in self.index.connections_of(net_name)[0]
+            if ref.instance is not None
+        ]
+
+    def readers(self, net_name: str) -> List[str]:
+        if not self._live(net_name):
+            return []
+        out: List[str] = []
+        for ref in self.index.connections_of(net_name)[1]:
+            if ref.instance is None:
+                continue
+            info = self.gatefile.info(
+                self.module.instances[ref.instance].cell
+            )
+            pin = info.pins.get(ref.pin)
+            if pin is None or pin.is_clock:
+                continue
+            out.append(ref.instance)
+        return out
+
+    is_comb = _Connectivity.is_comb
+    input_nets = _Connectivity.input_nets
+    output_nets = _Connectivity.output_nets
+
+    def comb_sources(self, instance: str) -> List[str]:
+        out: List[str] = []
+        for net in self.input_nets(instance):
+            out.extend(d for d in self.drivers(net) if self.is_comb(d))
+        return out
+
+    def targets(self, instance: str) -> List[str]:
+        out: List[str] = []
+        for net in self.output_nets(instance):
+            out.extend(self.readers(net))
+        return out
+
+    def sequential_targets(self, instance: str) -> List[str]:
+        return [t for t in self.targets(instance) if not self.is_comb(t)]
+
+    def target_bus_drivers(self, instance: str) -> Set[str]:
+        out: Set[str] = set()
+        for net in self.output_nets(instance):
+            base = bus_base(net)
+            if base is None:
+                continue
+            members = self._bus_memo.get(base)
+            if members is None:
+                # classify every bit of the bus through the index,
+                # skipping ignored/constant bits like _Connectivity
+                members = set()
+                for net_name in self.module.nets:
+                    if bus_base(net_name) != base:
+                        continue
+                    members.update(self.drivers(net_name))
+                self._bus_memo[base] = members
+            out.update(members)
+        return out
+
+
+def copy_region_map(region_map: RegionMap) -> RegionMap:
+    """Deep copy of a region map (regions own fresh instance sets)."""
+    out = RegionMap()
+    for region in region_map.regions.values():
+        out.regions[region.name] = Region(region.name, set(region.instances))
+    out.instance_region = dict(region_map.instance_region)
+    return out
+
+
+def regroup_incremental(
+    module: Module,
+    gatefile: Gatefile,
+    cached_map: RegionMap,
+    dirty_cells: Iterable[str],
+    false_path_nets: Iterable[str] = (),
+    use_bus_heuristic: bool = True,
+) -> Optional[RegionMap]:
+    """Revalidate the cached partition around ``dirty_cells`` and splice.
+
+    For edits that preserve connectivity and pin classification (cell
+    swaps within a drive-strength family, wire re-annotation), region
+    membership cannot change -- but rather than trusting the caller,
+    this recomputes the grouping relations *incident to the dirty
+    cells* through a lazy connectivity slice and checks they are
+    consistent with the cached partition:
+
+    - a dirty combinational cell must share its region with every
+      combinational source, every target and (with the bus heuristic)
+      every bus-partner driver;
+    - every sequential partner it pulls must already be grouped;
+    - a dirty sequential cell's sequential targets must be grouped.
+
+    On success returns a deep copy of the cached partition (the splice:
+    membership provably unchanged around the edit).  Returns ``None``
+    when any relation disagrees -- the caller must rerun the full
+    grouping algorithm.  Only sound for connectivity-preserving edits;
+    structural edits must go straight to :func:`group_regions`.
+    """
+    conn = _LocalConnectivity(module, gatefile, false_path_nets)
+    cells = sorted(set(dirty_cells))
+    with trace.span("regroup_incremental", dirty=len(cells)) as span:
+        for cell in cells:
+            if cell not in module.instances:
+                metrics.counter("desync.grouping.incremental_misses").inc()
+                return None
+            region = cached_map.region_of(cell)
+            if region is None:
+                metrics.counter("desync.grouping.incremental_misses").inc()
+                return None
+            if conn.is_comb(cell):
+                partners: Set[str] = set(conn.comb_sources(cell))
+                partners.update(conn.targets(cell))
+                if use_bus_heuristic:
+                    partners.update(conn.target_bus_drivers(cell))
+                partners.discard(cell)
+                for partner in partners:
+                    partner_region = cached_map.region_of(partner)
+                    if partner_region is None or (
+                        conn.is_comb(partner) and partner_region != region
+                    ):
+                        metrics.counter(
+                            "desync.grouping.incremental_misses"
+                        ).inc()
+                        return None
+            else:
+                for target in conn.sequential_targets(cell):
+                    if cached_map.region_of(target) is None:
+                        metrics.counter(
+                            "desync.grouping.incremental_misses"
+                        ).inc()
+                        return None
+        span.set("reused_regions", len(cached_map))
+    metrics.counter("desync.grouping.incremental_hits").inc()
+    return copy_region_map(cached_map)
+
+
+def validate_independence_for(
+    module: Module,
+    gatefile: Gatefile,
+    region_map: RegionMap,
+    regions: Iterable[str],
+    false_path_nets: Iterable[str] = (),
+) -> List[str]:
+    """:func:`validate_independence`, scoped to the given regions.
+
+    Checks every combinational connection incident to a member of
+    ``regions`` (both directions: a member driving out and an outside
+    cell driving in are the same edge, so walking members' targets
+    covers inbound violations via the source's own membership when the
+    source is also in scope; the inbound direction is covered by
+    walking members' combinational *sources* too).  Used by the
+    incremental flow to re-verify only the edit's membership cone.
+    """
+    wanted = set(regions)
+    conn = _LocalConnectivity(module, gatefile, false_path_nets)
+    problems: List[str] = []
+    with trace.span("validate_independence_for", regions=len(wanted)) as span:
+        for region_name in sorted(wanted):
+            region = region_map.regions.get(region_name)
+            if region is None:
+                continue
+            for instance in sorted(region.instances):
+                if not conn.is_comb(instance):
+                    continue
+                for target in conn.targets(instance):
+                    if not conn.is_comb(target):
+                        continue
+                    target_region = region_map.region_of(target)
+                    if target_region != region_name:
+                        problems.append(
+                            f"comb connection {instance} ({region_name}) -> "
+                            f"{target} ({target_region})"
+                        )
+                for source in conn.comb_sources(instance):
+                    source_region = region_map.region_of(source)
+                    if source_region != region_name and (
+                        source_region not in wanted
+                    ):
+                        problems.append(
+                            f"comb connection {source} ({source_region}) -> "
+                            f"{instance} ({region_name})"
+                        )
+        span.set("violations", len(problems))
+    return problems
+
+
 def record_region_metrics(region_map: RegionMap) -> None:
     """Publish region count and size distribution to the registry."""
     metrics.gauge("desync.grouping.regions").set(len(region_map))

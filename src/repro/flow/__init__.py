@@ -8,16 +8,30 @@ from .implementation import (
     implement_synchronous,
 )
 from .observe import ObservationResult, observe_handshake
+from .incremental import (
+    EditError,
+    IncrementalSession,
+    NetlistEdit,
+    ReflowOutcome,
+    apply_edit,
+    load_edits,
+)
 
 __all__ = [
     "AreaReport",
     "ComparisonTable",
+    "EditError",
     "ImplementationResult",
+    "IncrementalSession",
+    "NetlistEdit",
     "ObservationResult",
+    "ReflowOutcome",
+    "apply_edit",
     "area_report",
     "compare_implementations",
     "implement_desynchronized",
     "implement_synchronous",
+    "load_edits",
     "observe_handshake",
     "overhead",
 ]

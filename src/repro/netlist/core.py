@@ -20,9 +20,10 @@ reads and rewrites it.  The model is deliberately simple and scalar:
 from __future__ import annotations
 
 import re
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 
 class PortDirection(Enum):
@@ -138,6 +139,38 @@ class NetlistError(Exception):
     """Raised on inconsistent netlist operations."""
 
 
+#: Upper bound on retained dirty-log events.  Edits between two
+#: ``dirty_token`` observations almost always number in the dozens; the
+#: bound only matters when a consumer holds a token across a full
+#: rebuild, in which case :meth:`Module.dirty_since` degrades to ``None``
+#: (meaning "everything may have changed").
+_DIRTY_LOG_LIMIT = 4096
+
+#: Sentinel event kind meaning "the whole module may have changed".
+_DIRTY_ALL = "all"
+
+
+@dataclass
+class DirtySets:
+    """What changed between two ``dirty_token`` observations.
+
+    ``nets`` are nets whose connectivity (or classification) may have
+    changed, ``cells`` are instances whose cell binding or pin set may
+    have changed, and ``wires`` are nets whose wire-load annotations
+    were rewritten without a connectivity change.  Consumers that only
+    care about connectivity should treat ``nets | wires`` as stale --
+    wire annotations change net *timing* classification even though the
+    pin lists are intact.
+    """
+
+    nets: Set[str] = field(default_factory=set)
+    cells: Set[str] = field(default_factory=set)
+    wires: Set[str] = field(default_factory=set)
+
+    def __bool__(self) -> bool:
+        return bool(self.nets or self.cells or self.wires)
+
+
 class Module:
     """A flat module: ports, nets and instances plus rewrite helpers."""
 
@@ -156,15 +189,103 @@ class Module:
         #: checks.  Code that rewrites ``Net.connections`` directly must
         #: call :meth:`invalidate_indexes`.
         self._mutations = 0
+        #: bumped by :meth:`note_wire_annotation` -- wire-load rewrites
+        #: are *not* connectivity mutations (STA fingerprints hash the
+        #: annotation content separately) but still invalidate derived
+        #: timing classifications.
+        self._wire_annotations = 0
+        #: monotonic event counter behind :attr:`dirty_token`; every
+        #: dirty-log record carries its sequence number.
+        self._dirty_events = 0
+        #: bounded event log of ``(seq, kind, name)``; kinds are
+        #: ``"net"``, ``"cell"``, ``"wire"`` and the ``"all"`` sentinel.
+        self._dirty_log: deque = deque(maxlen=_DIRTY_LOG_LIMIT)
+        #: tokens below this are unanswerable (events fell off the log)
+        self._dirty_floor = 0
 
     @property
     def mutation_count(self) -> int:
         """Monotonic counter of connectivity mutations."""
         return self._mutations
 
+    @property
+    def wire_stamp(self) -> int:
+        """Monotonic counter of wire-annotation rewrites."""
+        return self._wire_annotations
+
+    @property
+    def dirty_token(self) -> int:
+        """Monotonic token covering *all* logged edits (connectivity,
+        cell swaps and wire annotations).  Capture it, edit the module,
+        then call :meth:`dirty_since` with the captured value to learn
+        exactly what changed."""
+        return self._dirty_events
+
+    def _note_dirty(self, kind: str, name: str) -> None:
+        self._dirty_events += 1
+        log = self._dirty_log
+        log.append((self._dirty_events, kind, name))
+        if len(log) == _DIRTY_LOG_LIMIT:
+            # oldest retained event is log[0]; anything before it is lost
+            self._dirty_floor = log[0][0] - 1
+
+    def dirty_since(self, token: int) -> Optional[DirtySets]:
+        """Dirty sets accumulated since ``token`` (a past ``dirty_token``).
+
+        Returns ``None`` when the answer is unknowable: the token
+        predates the retained log window, or a whole-module event
+        (``copy_from`` / ``invalidate_indexes``) happened in between.
+        Callers must treat ``None`` as "everything changed".
+        """
+        if token >= self._dirty_events:
+            return DirtySets()
+        if token < self._dirty_floor:
+            return None
+        out = DirtySets()
+        for seq, kind, name in reversed(self._dirty_log):
+            if seq <= token:
+                break
+            if kind == _DIRTY_ALL:
+                return None
+            if kind == "net":
+                out.nets.add(name)
+            elif kind == "cell":
+                out.cells.add(name)
+            else:
+                out.wires.add(name)
+        return out
+
     def invalidate_indexes(self) -> None:
         """Mark derived connectivity indexes stale (manual rewrites)."""
         self._mutations += 1
+        self._note_dirty(_DIRTY_ALL, "")
+
+    def note_wire_annotation(self, nets: Iterable[str]) -> None:
+        """Record that wire-load annotations of ``nets`` were rewritten.
+
+        Bumps :attr:`wire_stamp` (not :attr:`mutation_count`: the STA
+        caches fingerprint annotation *content* and must not see a
+        phantom connectivity mutation) and logs per-net ``"wire"`` dirty
+        events so connectivity/timing consumers can invalidate
+        selectively.
+        """
+        self._wire_annotations += 1
+        for net in nets:
+            self._note_dirty("wire", net)
+
+    def note_cell_change(self, instance: str) -> None:
+        """Record that ``instance`` was re-bound to a different cell.
+
+        The pin->net bindings are untouched but every derived view that
+        classified pins through the old cell (connectivity indexes,
+        timing graphs, region membership) is stale for the instance and
+        the nets on its pins.  Bumps :attr:`mutation_count`.
+        """
+        inst = self.instances[instance]
+        self._mutations += 1
+        self._note_dirty("cell", instance)
+        for net in inst.pins.values():
+            self._note_dirty("net", net)
 
     # ------------------------------------------------------------------
     # construction
@@ -183,6 +304,7 @@ class Module:
         for bit in port.bit_names():
             net = self.ensure_net(bit)
             net.connections.append(PinRef(None, bit))
+            self._note_dirty("net", bit)
         self._mutations += 1
         return port
 
@@ -239,6 +361,8 @@ class Module:
         inst.pins[pin] = net_name
         net.connections.append(PinRef(instance, pin))
         self._mutations += 1
+        self._note_dirty("net", net_name)
+        self._note_dirty("cell", instance)
 
     def disconnect(self, instance: str, pin: str) -> None:
         inst = self.instances[instance]
@@ -250,6 +374,8 @@ class Module:
             ref = PinRef(instance, pin)
             net.connections = [c for c in net.connections if c != ref]
         self._mutations += 1
+        self._note_dirty("net", net_name)
+        self._note_dirty("cell", instance)
 
     def remove_instance(self, name: str) -> None:
         inst = self.instances.get(name)
@@ -259,6 +385,7 @@ class Module:
             self.disconnect(name, pin)
         del self.instances[name]
         self._mutations += 1
+        self._note_dirty("cell", name)
 
     def remove_net(self, name: str) -> None:
         net = self.nets.get(name)
@@ -268,6 +395,7 @@ class Module:
             raise NetlistError(f"net {name!r} still has connections")
         del self.nets[name]
         self._mutations += 1
+        self._note_dirty("net", name)
 
     def rename_net(self, old: str, new: str) -> None:
         """Rename a net, rewriting every pin binding that references it."""
@@ -281,7 +409,10 @@ class Module:
         for ref in net.connections:
             if ref.instance is not None:
                 self.instances[ref.instance].pins[ref.pin] = new
+                self._note_dirty("cell", ref.instance)
         self._mutations += 1
+        self._note_dirty("net", old)
+        self._note_dirty("net", new)
 
     def merge_nets(self, keep: str, remove: str) -> None:
         """Merge net ``remove`` into ``keep`` (alias collapsing)."""
@@ -301,9 +432,12 @@ class Module:
             inst = self.instances[ref.instance]
             inst.pins[ref.pin] = keep
             kept.connections.append(PinRef(ref.instance, ref.pin))
+            self._note_dirty("cell", ref.instance)
         gone.connections = []
         del self.nets[remove]
         self._mutations += 1
+        self._note_dirty("net", keep)
+        self._note_dirty("net", remove)
 
     # ------------------------------------------------------------------
     # queries
@@ -396,6 +530,8 @@ class Module:
         self.attributes = other.attributes
         self._uid = other._uid
         self._mutations += 1
+        self._wire_annotations += 1
+        self._note_dirty(_DIRTY_ALL, "")
 
     def __repr__(self) -> str:
         return (

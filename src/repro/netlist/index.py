@@ -7,13 +7,16 @@ output-region tracing, the grouping pass -- pay that classification cost
 over and over.  :class:`ConnectivityIndex` memoizes the per-net
 classification so repeated lookups are O(1) dict hits.
 
-Consistency is mutation-tracked rather than hooked per-entry: every
-connectivity-changing :class:`~repro.netlist.core.Module` operation
-(``connect``, ``disconnect``, ``remove_instance``, ``merge_nets``,
-``rename_net``, ...) bumps the module's ``mutation_count``; the index
-compares stamps on each query and drops its cache when the module has
-moved on.  Code that rewrites ``Net.connections`` directly (e.g. the
-name-cleaning pass) must call ``Module.invalidate_indexes()``.
+Consistency is dirty-log-tracked: every logged
+:class:`~repro.netlist.core.Module` edit (``connect``, ``disconnect``,
+``remove_instance``, ``merge_nets``, ``rename_net``, cell swaps via
+``note_cell_change``, wire re-annotation via ``note_wire_annotation``,
+...) advances the module's ``dirty_token``; the index compares tokens
+on each query and asks ``Module.dirty_since`` for the per-net dirty
+sets, dropping only the stale entries.  When the answer is unknowable
+(log overflow, ``copy_from``, ``invalidate_indexes``) it falls back to
+a full clear.  Code that rewrites ``Net.connections`` directly (e.g.
+the name-cleaning pass) must call ``Module.invalidate_indexes()``.
 """
 
 from __future__ import annotations
@@ -34,26 +37,49 @@ class ConnectivityIndex:
     bits, both in net connection order; inout pins are neither.
     """
 
-    __slots__ = ("module", "cell_info", "_stamp", "_nets", "hits", "misses")
+    __slots__ = ("module", "cell_info", "_token", "_nets", "hits", "misses")
 
     def __init__(self, module: Module, cell_info: CellInfoProvider):
         self.module = module
         self.cell_info = cell_info
-        self._stamp = module.mutation_count
+        self._token = module.dirty_token
         #: net -> (drivers, sinks), both in connection order
         self._nets: Dict[str, Tuple[List[PinRef], List[PinRef]]] = {}
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
-    def connections_of(self, net_name: str) -> Tuple[List[PinRef], List[PinRef]]:
-        """``(drivers, sinks)`` of a net; the lists are owned by the index."""
-        stamp = self.module.mutation_count
-        if stamp != self._stamp:
+    def _refresh(self) -> None:
+        """Drop entries invalidated since the last query.
+
+        Selective when the module's dirty log covers the gap (only the
+        edited nets -- including wire re-annotations, which change
+        timing classification without touching pin lists -- are
+        evicted); a full clear otherwise.
+        """
+        token = self.module.dirty_token
+        if token == self._token:
+            return
+        dirty = self.module.dirty_since(self._token)
+        self._token = token
+        if dirty is None:
             if self._nets:
                 self._nets.clear()
                 metrics.counter("netlist.index.invalidations").inc()
-            self._stamp = stamp
+            return
+        dropped = 0
+        for net in dirty.nets:
+            if self._nets.pop(net, None) is not None:
+                dropped += 1
+        for net in dirty.wires:
+            if self._nets.pop(net, None) is not None:
+                dropped += 1
+        if dropped:
+            metrics.counter("netlist.index.partial_invalidations").inc()
+
+    def connections_of(self, net_name: str) -> Tuple[List[PinRef], List[PinRef]]:
+        """``(drivers, sinks)`` of a net; the lists are owned by the index."""
+        self._refresh()
         entry = self._nets.get(net_name)
         if entry is not None:
             self.hits += 1

@@ -116,7 +116,17 @@ def build_service_parser() -> argparse.ArgumentParser:
     submit = sub.add_parser("submit", help="submit one job")
     add_url(submit)
     submit.add_argument(
-        "design", help="generator name (dlx, pipeline3, ...) or Verilog path"
+        "design", nargs="?",
+        help="generator name (dlx, pipeline3, ...) or Verilog path; "
+        "omit for an eco job (--parent)",
+    )
+    submit.add_argument(
+        "--parent", metavar="JOB_ID",
+        help="eco job: patch this completed job's result incrementally",
+    )
+    submit.add_argument(
+        "--edits", metavar="FILE",
+        help="eco job: edits.json with the netlist edits to apply",
     )
     submit.add_argument(
         "--param", action="append", default=[], metavar="K=V",
@@ -216,7 +226,34 @@ def _cmd_submit(args) -> int:
         "timeout": args.timeout,
         "options": options_from_dict(_parse_kv(args.option, "option")),
     }
-    if args.design in known_designs():
+    if args.parent or args.edits:
+        if not (args.parent and args.edits):
+            print(
+                "repro submit: an eco job needs both --parent and --edits",
+                file=sys.stderr,
+            )
+            return 1
+        if args.design is not None:
+            print(
+                "repro submit: an eco job inherits its design from "
+                "--parent; drop the design argument",
+                file=sys.stderr,
+            )
+            return 1
+        from ..flow.incremental import load_edits
+
+        spec_kwargs["parent"] = args.parent
+        spec_kwargs["edits"] = [
+            edit.to_dict() for edit in load_edits(args.edits)
+        ]
+    elif args.design is None:
+        print(
+            "repro submit: a design (or --parent for an eco job) is "
+            "required",
+            file=sys.stderr,
+        )
+        return 1
+    elif args.design in known_designs():
         spec_kwargs["design"] = args.design
         spec_kwargs["params"] = _parse_kv(args.param, "param")
     elif os.path.isfile(args.design):

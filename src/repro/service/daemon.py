@@ -34,6 +34,7 @@ import signal
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..engine.cache import ArtifactCache
@@ -62,6 +63,9 @@ _METRIC_HELP = {
     "service.jobs.done": "jobs settled successfully",
     "service.jobs.failed": "jobs settled with an error or timeout",
     "service.jobs.cancelled": "jobs cancelled while queued",
+    "service.jobs.eco": "incremental (eco) jobs executed",
+    "flow.incr.reused": "incremental re-flow: stages reused, by stage",
+    "flow.incr.recomputed": "incremental re-flow: stages recomputed, by stage",
     "service.queue.depth": "jobs currently queued",
     "service.jobs.active": "jobs queued or running",
     "service.cache.hit_rate": "shared artifact cache hit rate",
@@ -91,6 +95,7 @@ class ServiceDaemon:
         slos: Optional[Sequence[SLO]] = None,
         max_trace_spans: int = 5000,
         max_traces: int = 256,
+        eco_sessions: int = 4,
     ):
         self.run_dir = os.path.abspath(run_dir)
         os.makedirs(self.run_dir, exist_ok=True)
@@ -115,6 +120,12 @@ class ServiceDaemon:
         self._by_key: Dict[str, str] = {}
         self._libraries: Dict[str, Any] = {}
         self._closed = False
+        # eco support: live IncrementalSession per completed job, LRU
+        # bounded (a session pins three netlist snapshots plus warm
+        # STA graphs -- a handful is plenty; evicted sessions are
+        # rebuilt from the job chain on demand)
+        self._sessions: "OrderedDict[str, Any]" = OrderedDict()
+        self._session_cap = max(1, int(eco_sessions))
         self.telemetry: Optional[TelemetryHub] = None
         if telemetry:
             self.telemetry = TelemetryHub(
@@ -167,6 +178,17 @@ class ServiceDaemon:
     def job_journal_path(self, job_id: str) -> str:
         return os.path.join(self.run_dir, "jobs", f"{job_id}.jsonl")
 
+    def _library_name(self, spec: JobSpec) -> str:
+        """Eco jobs inherit their library from the root of the chain."""
+        seen = set()
+        while spec.parent is not None and spec.parent not in seen:
+            seen.add(spec.parent)
+            job = self.queue.get(spec.parent)
+            if job is None:
+                break
+            spec = job.meta["spec"]
+        return spec.library
+
     # -- submission ----------------------------------------------------
     def submit(
         self, spec: JobSpec, reuse: bool = True
@@ -180,7 +202,11 @@ class ServiceDaemon:
         stage artifact through the daemon cache.
         """
         spec.validate()
-        library = self._library(spec.library)
+        if spec.parent is not None and self.queue.get(spec.parent) is None:
+            from .jobs import JobError
+
+            raise JobError(f"unknown parent job {spec.parent!r}")
+        library = self._library(self._library_name(spec))
         key = job_key(spec, library)
         with self._lock:
             if self._closed:
@@ -259,6 +285,11 @@ class ServiceDaemon:
             cache=self.cache, journal=journal, jobs=self.flow_jobs
         )
         try:
+            if spec.parent is not None:
+                with trace_mod.scoped(tracer):
+                    payload = self._run_eco_job(job_id, spec)
+                payload["trace_id"] = trace_id
+                return payload
             with trace_mod.scoped(tracer):
                 result = execute_job(spec, library, engine)
             run = engine.results[-1]
@@ -285,6 +316,78 @@ class ServiceDaemon:
                     "service.trace.spans_dropped"
                 ).inc(tracer.dropped)
             journal.close()
+
+    # -- eco jobs ------------------------------------------------------
+    def _run_eco_job(self, job_id: str, spec: JobSpec) -> Dict[str, Any]:
+        """Incremental re-flow of a parent job's result.
+
+        The edits land on the parent's live
+        :class:`~repro.flow.incremental.IncrementalSession`; after a
+        successful apply the session is re-keyed to this job (its state
+        now reflects the child result), so eco jobs chain.  A failed
+        apply drops the session -- the next reference rebuilds it from
+        the job chain, which is always possible because every spec in
+        the chain is retained.
+        """
+        from ..flow.incremental import NetlistEdit
+
+        edits = [NetlistEdit.from_dict(record) for record in spec.edits]
+        session = self._session_for(spec.parent)
+        outcome = session.apply(edits)
+        self._checkin_session(job_id, session)
+        self.registry.counter("service.jobs.eco").inc()
+        payload = result_payload(outcome.result, include_verilog=True)
+        payload["mode"] = outcome.mode
+        payload["eco"] = {
+            "parent": spec.parent,
+            "path": outcome.path,
+            "reused": dict(outcome.reused),
+            "region_status": dict(outcome.region_status),
+        }
+        return payload
+
+    def _session_for(self, job_id: str):
+        """Exclusive checkout of the session holding ``job_id``'s state.
+
+        Popped from the LRU under the lock so two concurrent eco jobs
+        never mutate one session; rebuilt (root flow + edit replay)
+        when evicted or never materialised.
+        """
+        from ..flow.incremental import IncrementalSession, NetlistEdit
+        from .jobs import JobError, resolve_module
+
+        with self._lock:
+            session = self._sessions.pop(job_id, None)
+        if session is not None:
+            return session
+        job = self.queue.get(job_id)
+        if job is None:
+            raise JobError(f"unknown parent job {job_id!r}")
+        if job.state is not JobState.DONE:
+            raise JobError(
+                f"parent job {job_id} is {job.state.value}, not done"
+            )
+        spec: JobSpec = job.meta["spec"]
+        if spec.parent is not None:
+            session = self._session_for(spec.parent)
+            session.apply(
+                [NetlistEdit.from_dict(record) for record in spec.edits]
+            )
+            return session
+        library = self._library(spec.library)
+        session = IncrementalSession(
+            library, spec.options, cache=self.cache
+        )
+        module = resolve_module(spec, library)
+        session.start(module, key=job.meta["key"])
+        return session
+
+    def _checkin_session(self, job_id: str, session) -> None:
+        with self._lock:
+            self._sessions[job_id] = session
+            self._sessions.move_to_end(job_id)
+            while len(self._sessions) > self._session_cap:
+                self._sessions.popitem(last=False)
 
     def _on_settle(self, job: Job) -> None:
         self.registry.counter(f"service.jobs.{job.state.value}").inc()

@@ -88,8 +88,25 @@ class JobSpec:
     priority: int = 0
     #: wall-clock budget in seconds (None = unbounded)
     timeout: Optional[float] = None
+    #: eco job: ID of the completed job whose result the edits patch
+    #: (design, library and options are inherited from that job)
+    parent: Optional[str] = None
+    #: eco job: the netlist edits to re-flow incrementally, as
+    #: :meth:`repro.flow.incremental.NetlistEdit.to_dict` records
+    edits: list = field(default_factory=list)
 
     def validate(self) -> None:
+        if self.parent is not None:
+            if not self.edits:
+                raise JobError("an eco job needs at least one edit")
+            if self.design is not None or self.verilog is not None:
+                raise JobError(
+                    "an eco job inherits its design from 'parent'; "
+                    "drop 'design'/'verilog'"
+                )
+            return
+        if self.edits:
+            raise JobError("'edits' requires 'parent' (an eco job)")
         if (self.design is None) == (self.verilog is None):
             raise JobError(
                 "a job needs exactly one of 'design' or 'verilog'"
@@ -112,8 +129,12 @@ class JobSpec:
             "options": options_to_dict(self.options),
             "priority": self.priority,
             "timeout": self.timeout,
+            "parent": self.parent,
+            "edits": [dict(edit) for edit in self.edits],
         }
-        return {k: v for k, v in payload.items() if v not in (None, {})}
+        return {
+            k: v for k, v in payload.items() if v not in (None, {}, [])
+        }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
@@ -164,13 +185,15 @@ def job_key(spec: JobSpec, library) -> str:
     """
     return stable_hash(
         {
-            "schema": 1,
+            "schema": 2,
             "design": spec.design,
             "params": spec.params,
             "verilog": spec.verilog,
             "top": spec.top,
             "library": library_fingerprint(library),
             "options": spec.options,
+            "parent": spec.parent,
+            "edits": spec.edits,
         }
     )
 

@@ -39,8 +39,8 @@ from __future__ import annotations
 import weakref
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..liberty.model import Library
-from ..netlist.core import Module
+from ..liberty.model import CellKind, Library
+from ..netlist.core import Module, PortDirection
 from ..obs import metrics
 from .graph import (
     Disable,
@@ -49,6 +49,7 @@ from .graph import (
     build_timing_graph,
     compute_net_pin_load,
     node_sort_key,
+    refresh_net_loads,
     wire_attr_fingerprint,
 )
 
@@ -525,6 +526,188 @@ class CompiledTimingGraph:
         )
         return changed_edges
 
+    def retime_cell_swap(self, instance: str, old_cell_name: str) -> bool:
+        """Re-time the graph in place after ``instance`` changed cell.
+
+        The module already holds the new cell binding; ``old_cell_name``
+        is the binding the graph was built against.  Patching succeeds
+        when the swap is *structure-preserving* -- same pin names,
+        directions, clock flags, cell kind and arc shape -- in which
+        case only the instance's own arc/launch/capture entries and the
+        loads on its input nets are recomputed (in builder order, so the
+        floats are bit-identical to a cold rebuild) and every cached
+        propagation state is re-relaxed over the dirty cone.
+
+        Returns ``False`` when the swap changes graph structure; the
+        graph may then be partially patched and must be discarded (the
+        module cache handles this by not restamping the entry, so the
+        next :func:`compiled_graph` call rebuilds).
+        """
+        if self.library is None:
+            return False
+        module = self.module
+        inst = module.instances.get(instance)
+        if inst is None:
+            return False
+        lib = self.library
+        old_cell = lib.cells.get(old_cell_name)
+        new_cell = lib.cells.get(inst.cell)
+        if (old_cell is None) != (new_cell is None):
+            # cell entered or left the library view: edges appear/vanish
+            return False
+        if old_cell is None:
+            return True  # unknown cell both before and after: no-op
+
+        if new_cell.kind != old_cell.kind:
+            return False
+        if set(new_cell.pins) != set(old_cell.pins):
+            return False
+        for name, old_pin in old_cell.pins.items():
+            new_pin = new_cell.pins[name]
+            if (
+                new_pin.direction != old_pin.direction
+                or new_pin.is_clock != old_pin.is_clock
+            ):
+                return False
+        if len(old_cell.arcs) != len(new_cell.arcs):
+            return False
+        arc_map: Dict[int, object] = {}
+        for old_arc, new_arc in zip(old_cell.arcs, new_cell.arcs):
+            if (old_arc.pin, old_arc.related_pin, old_arc.timing_type) != (
+                new_arc.pin,
+                new_arc.related_pin,
+                new_arc.timing_type,
+            ):
+                return False
+            arc_map[id(old_arc)] = new_arc
+
+        build_derate = self.build_derate
+        delays = self._delay
+        adj_dst = self._adj_dst
+        nodes = self.nodes
+        default_cap = lib.default_wire_cap
+        wire_caps = self._wire_caps
+        dirty_nodes: set = set()
+        changed_eids: set = set()
+        load_memo: Dict[str, float] = {}
+
+        def load_of(net: str) -> float:
+            value = load_memo.get(net)
+            if value is None:
+                value = compute_net_pin_load(
+                    module, lib, net, wire_caps.get(net, default_cap)
+                )
+                load_memo[net] = value
+            return value
+
+        # nets whose load moved: input pins whose capacitance differs
+        changed_load = set()
+        for pin_name, net in inst.pins.items():
+            old_pin = old_cell.pins[pin_name]
+            if old_pin.direction != PortDirection.INPUT:
+                continue
+            if new_cell.pins[pin_name].capacitance != old_pin.capacitance:
+                changed_load.add(net)
+
+        # (1) the instance's own combinational arc edges: swap the arc
+        # objects and re-time against the (possibly unchanged) load
+        for _pin, net in inst.pins.items():
+            for ei in self._arc_edges_by_net.get(net, ()):
+                dst = adj_dst[ei]
+                if nodes[dst][0] != instance:
+                    continue
+                new_arc = arc_map.get(id(self._edge_arc[ei]))
+                if new_arc is None:
+                    return False
+                self._edge_arc[ei] = new_arc
+                base = new_arc.worst_delay(load_of(net)) * build_derate
+                if base != delays[ei]:
+                    delays[ei] = base
+                    dirty_nodes.add(dst)
+                    changed_eids.add(ei)
+
+        # (2) the instance's launch arcs (sequential clock->Q)
+        my_launch: List[Tuple[int, List[Tuple[object, str]]]] = []
+        for nid, arcs in self._launch_arcs.items():
+            if nodes[nid][0] != instance:
+                continue
+            swapped = []
+            for arc, arc_net in arcs:
+                new_arc = arc_map.get(id(arc))
+                if new_arc is None:
+                    return False
+                swapped.append((new_arc, arc_net))
+            my_launch.append((nid, swapped))
+        for nid, swapped in my_launch:
+            self._launch_arcs[nid] = swapped
+
+        # (3) edges and launch bases of *other* instances on nets whose
+        # load moved, plus this instance's own launch bases
+        recompute_launch = {nid for nid, _ in my_launch}
+        for net in sorted(changed_load):
+            load = load_of(net)
+            for ei in self._arc_edges_by_net.get(net, ()):
+                base = self._edge_arc[ei].worst_delay(load) * build_derate
+                if base != delays[ei]:
+                    delays[ei] = base
+                    dirty_nodes.add(adj_dst[ei])
+                    changed_eids.add(ei)
+            recompute_launch.update(self._launch_by_net.get(net, ()))
+        for nid in sorted(recompute_launch):
+            # the builder maxes against a 0.0 default -- reproduce it
+            base = 0.0
+            for arc, arc_net in self._launch_arcs[nid]:
+                value = arc.worst_delay(load_of(arc_net)) * build_derate
+                if value > base:
+                    base = value
+            if base != self._launch_base[nid]:
+                self._launch_base[nid] = base
+                dirty_nodes.add(nid)
+
+        # (4) capture setups of a sequential instance
+        endpoints_changed = False
+        if old_cell.kind != CellKind.COMBINATIONAL:
+            setups: Dict[str, float] = {}
+            for arc in new_cell.arcs:
+                if arc.timing_type.startswith("setup"):
+                    value = arc.intrinsic_rise * build_derate
+                    if value > setups.get(arc.pin, 0.0):
+                        setups[arc.pin] = value
+            for i, (nid, setup) in enumerate(self._capture_items):
+                node = nodes[nid]
+                if node[0] != instance:
+                    continue
+                new_setup = setups.get(node[1], 0.0)
+                if new_setup != setup:
+                    self._capture_items[i] = (nid, new_setup)
+                    endpoints_changed = True
+        if endpoints_changed:
+            setup_of = dict(self._capture_items)
+            self._endpoints = [
+                (nid, setup_of.get(nid, 0.0)) for nid, _ in self._endpoints
+            ]
+
+        if not (dirty_nodes or changed_eids or endpoints_changed):
+            metrics.counter("sta.compiled.cell_swaps").inc()
+            return True
+
+        for derate, scaled in self._scaled.items():
+            for ei in changed_eids:
+                scaled[ei] = delays[ei] * derate
+        self._launch_items = [
+            (nid, self._launch_base[nid]) for nid, _ in self._launch_items
+        ]
+        if dirty_nodes:
+            for key, state in self._states.items():
+                self._update_state(key, state, dirty_nodes)
+        self._reports.clear()
+        self._ssta_reports.clear()
+        metrics.counter("sta.compiled.cell_swaps").inc()
+        metrics.counter("sta.compiled.incremental_edges").inc(
+            len(changed_eids)
+        )
+        return True
+
     def _update_state(
         self,
         key: Tuple[float, float],
@@ -683,6 +866,73 @@ def invalidate_module(module: Module) -> None:
     _MODULE_CACHE.pop(module, None)
 
 
+def _changed_load_nets(
+    module: Module, library: Library, instance: str, old_cell_name: str
+) -> List[str]:
+    """Nets whose capacitive load moved when ``instance`` swapped cell."""
+    inst = module.instances[instance]
+    old_cell = library.cells.get(old_cell_name)
+    new_cell = library.cells.get(inst.cell)
+    changed = set()
+    for pin_name, net in inst.pins.items():
+        old_pin = old_cell.pins.get(pin_name) if old_cell else None
+        new_pin = new_cell.pins.get(pin_name) if new_cell else None
+        old_cap = (
+            old_pin.capacitance
+            if old_pin is not None and old_pin.direction == PortDirection.INPUT
+            else None
+        )
+        new_cap = (
+            new_pin.capacitance
+            if new_pin is not None and new_pin.direction == PortDirection.INPUT
+            else None
+        )
+        if old_cap != new_cap:
+            changed.add(net)
+    return sorted(changed)
+
+
+def swap_cell(
+    module: Module, library: Library, instance: str, new_cell: str
+) -> bool:
+    """Re-bind ``instance`` to ``new_cell`` and re-time caches in place.
+
+    The supported way to apply an ECO cell swap: performs the edit
+    (binding + dirty-log record via ``Module.note_cell_change``),
+    patches the per-module net-load cache, and incrementally re-times
+    every live compiled graph whose structure the swap preserves --
+    bit-identical to a cold rebuild, at dirty-cone cost.
+
+    Returns ``True`` when every live graph stayed warm; ``False`` when
+    at least one could not be patched and will rebuild lazily.  The
+    module edit itself always happens, so correctness never depends on
+    the return value.
+    """
+    inst = module.instances[instance]
+    old_cell = inst.cell
+    if old_cell == new_cell:
+        return True
+    old_stamp = module.mutation_count
+    inst.cell = new_cell
+    module.note_cell_change(instance)
+
+    changed_nets = _changed_load_nets(module, library, instance, old_cell)
+    refresh_net_loads(module, library, changed_nets)
+
+    ok = True
+    variants = _MODULE_CACHE.get(module)
+    if variants:
+        fingerprint = _module_fingerprint(module)
+        for entry in variants.values():
+            if entry.fingerprint[0] != old_stamp or entry.graph.library is None:
+                continue  # already stale; rebuilds on demand
+            if entry.graph.retime_cell_swap(instance, old_cell):
+                entry.fingerprint = fingerprint
+            else:
+                ok = False
+    return ok
+
+
 def annotate_wires(
     module: Module,
     wire_caps: Optional[Dict[str, float]] = None,
@@ -698,16 +948,24 @@ def annotate_wires(
     directly stays correct -- the fingerprint check forces a rebuild --
     but forfeits the incremental path.
     """
+    touched: set = set()
     for attr, annotation in (
         ("net_wire_cap", wire_caps),
         ("net_wire_delay", wire_delays),
     ):
         if annotation is None:
             continue
+        touched.update(annotation)
         if replace or attr not in module.attributes:
+            if replace:
+                touched.update(module.attributes.get(attr, ()))
             module.attributes[attr] = dict(annotation)
         else:
             module.attributes[attr].update(annotation)
+    if touched:
+        # dirty-log the re-annotation (wire_stamp, not mutation_count:
+        # the fingerprints below hash annotation content separately)
+        module.note_wire_annotation(sorted(touched))
 
     variants = _MODULE_CACHE.get(module)
     if not variants:

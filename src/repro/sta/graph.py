@@ -137,6 +137,35 @@ def compute_net_loads(module: Module, library: Library) -> Dict[str, float]:
     return loads
 
 
+def refresh_net_loads(
+    module: Module, library: Library, nets: Iterable[str]
+) -> bool:
+    """Patch the cached load map in place after a cell swap.
+
+    A cell swap changes the input-pin capacitances hanging on the
+    swapped instance's nets without touching connectivity; recomputing
+    just those nets (in :func:`compute_net_pin_load` order, so the
+    floats stay bit-identical to a cold pass) and restamping the cache
+    keeps the whole-module load map warm.  Returns ``False`` when there
+    is no live cache for this (module, library) to patch.
+    """
+    entry = _LOADS_CACHE.get(module)
+    if entry is None or entry[0] is not library:
+        return False
+    wire_caps: Dict[str, float] = module.attributes.get("net_wire_cap", {})
+    default_cap = library.default_wire_cap
+    loads = entry[2]
+    for net in nets:
+        if net in module.nets:
+            loads[net] = compute_net_pin_load(
+                module, library, net, wire_caps.get(net, default_cap)
+            )
+        else:
+            loads.pop(net, None)
+    _LOADS_CACHE[module] = (library, _loads_fingerprint(module), loads)
+    return True
+
+
 def compute_net_pin_load(module: Module, library: Library, net_name: str,
                          wire_cap: float) -> float:
     """Load of one net, recomputed in ``compute_net_loads`` order.
