@@ -19,11 +19,13 @@ below ``MIN_SPEEDUP`` (20x) the benchmark fails outright.
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_incremental.py [OUT_DIR]
-        [--check BASELINE_JSON] [--repeats N]
+        [--check BASELINE_JSON] [--history FILE] [--repeats N]
 
-``--check`` compares the fresh speedup against a committed baseline
-``BENCH_incr.json`` and exits non-zero when it regresses by more than
-25%.
+``--check`` gates the fresh speedup through
+:func:`repro.obs.bench.check_regression` against a committed baseline
+``BENCH_incr.json`` (>25% drop fails; with enough ``--history`` points
+the median/MAD statistical band takes over).  ``--history`` appends
+the stamped result to the append-only store after the gate.
 """
 
 import argparse
@@ -44,6 +46,7 @@ from repro.flow.incremental import (  # noqa: E402
 )
 from repro.liberty import core9_hs  # noqa: E402
 from repro.netlist.verilog import write_module  # noqa: E402
+from repro.obs import bench as obs_bench  # noqa: E402
 
 MIN_SPEEDUP = 20.0  # hard floor from the acceptance criteria
 REGRESSION_TOLERANCE = 0.25  # fail when speedup drops >25% vs baseline
@@ -134,7 +137,7 @@ def run_bench(repeats=3):
             f"cold (floor {MIN_SPEEDUP:.0f}x)"
         )
 
-    return {
+    bench = {
         "bench": "incremental_reflow",
         "design": "dlx (full core)",
         "edit": f"swap {target} {SWAP_FROM}->{SWAP_TO}",
@@ -149,25 +152,36 @@ def run_bench(repeats=3):
         "min_speedup": MIN_SPEEDUP,
         "identical_results": True,
     }
+    obs_bench.stamp(
+        bench,
+        "incremental_reflow",
+        {"speedup": bench["speedup"]},
+        cwd=ROOT,
+    )
+    return bench
 
 
-def check_regression(bench, baseline_path):
+def check_regression(bench, baseline_path, history_path=None):
     with open(baseline_path) as handle:
         baseline = json.load(handle)
-    base = baseline["speedup"]
-    fresh = bench["speedup"]
-    floor = base * (1.0 - REGRESSION_TOLERANCE)
-    print(
-        f"regression check: incremental speedup {fresh:.1f}x "
-        f"vs baseline {base:.1f}x (floor {floor:.1f}x)"
+    base = obs_bench.baseline_metrics(baseline) or {
+        "speedup": baseline["speedup"]
+    }
+    history = (
+        obs_bench.load_history(history_path, "incremental_reflow")
+        if history_path
+        else None
     )
-    if fresh < floor:
-        print(
-            f"FAIL: incremental re-flow regressed "
-            f"{(1.0 - fresh / base) * 100:.0f}% vs committed baseline"
-        )
-        return 1
-    return 0
+    report = obs_bench.check_regression(
+        bench["metrics"],
+        base,
+        name="incremental_reflow",
+        tolerance=REGRESSION_TOLERANCE,
+        floors={"speedup": MIN_SPEEDUP},
+        history=history,
+    )
+    print(report.render())
+    return report.exit_code()
 
 
 def main(argv=None):
@@ -181,6 +195,12 @@ def main(argv=None):
         "--check",
         metavar="BASELINE_JSON",
         help="fail when the speedup regresses >25%% vs this baseline",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        help="append-only history store: consulted for the statistical "
+        "gate, then appended to after the run",
     )
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
@@ -204,9 +224,13 @@ def main(argv=None):
     )
     print(f"wrote {out_file}")
 
+    status = 0
     if args.check:
-        return check_regression(bench, args.check)
-    return 0
+        status = check_regression(bench, args.check, args.history)
+    if args.history:
+        obs_bench.append_history(bench, args.history)
+        print(f"recorded incremental_reflow -> {args.history}")
+    return status
 
 
 if __name__ == "__main__":

@@ -1,28 +1,45 @@
 """Observability overhead and flow profile (the repro.obs layer).
 
-Two questions: (1) what does the *disabled* instrumentation cost on a
-real conversion -- the layer promises near-zero -- and (2) what does
-the per-phase profile of a traced DLX desynchronization look like?
-Emits ``obs_profile.txt`` plus ``obs_overhead.json`` under
-``benchmarks/results/``.
+Three questions: (1) what does the *disabled* instrumentation cost on
+a real conversion -- the layer promises near-zero -- (2) what does the
+per-phase profile of a traced DLX desynchronization look like, and
+(3) what does the *disabled* profiler path cost on the warm flow?
+
+The profiler gate uses the PR-7 telemetry methodology: paired
+alternating rounds between two arms that differ only in the profiling
+machinery state, each arm summarized by its minimum wall time (OS
+noise is additive, the min isolates the intrinsic cost).  The
+"disabled" arm runs inside an explicit disabled-profiler scope -- the
+most expensive disabled path (thread-local override lookup + enabled
+check per stage) -- and must stay within 2% of the plain default arm.
+
+Emits ``obs_profile.txt`` plus ``obs_overhead.json`` (stamped with the
+unified ``repro-bench/v1`` schema) under ``benchmarks/results/``.
 """
 
-import json
-import os
+import gc
 import time
 
-from conftest import RESULTS_DIR, emit, run_once
+from conftest import emit, emit_json, run_once, stamp_result
 
 from repro.desync import Drdesync
 from repro.engine import FlowEngine
 from repro.obs import (
     MetricsRegistry,
+    Profiler,
     Tracer,
+    bench as obs_bench,
     metrics,
     phase_times,
+    prof,
+    profile_report,
     summary_report,
     trace,
 )
+
+#: acceptance ceiling for the profiler's disabled-path cost
+PROFILER_MAX_DISABLED_OVERHEAD_PCT = 2.0
+PROFILER_AB_ROUNDS = 8
 
 
 def _convert(library, module):
@@ -69,14 +86,107 @@ def test_obs_overhead_and_profile(benchmark, hs_library, dlx_factory):
         "span_count": len(tracer),
         "phases_s": phases,
     }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "obs_overhead.json"), "w") as handle:
-        json.dump(overhead, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    stamp_result(
+        overhead,
+        "obs_overhead",
+        {"tracing_overhead_pct": overhead["tracing_overhead_pct"]},
+    )
+    emit_json("obs_overhead", overhead)
 
     emit(
         "obs_profile",
         "DLX desynchronization span profile (repro.obs)\n"
         f"disabled {disabled_s:.3f}s vs traced {enabled_s:.3f}s "
         f"({overhead['tracing_overhead_pct']:+.1f}%)\n\n" + report,
+    )
+
+
+def test_profiler_disabled_overhead(benchmark, hs_library, dlx_factory):
+    """The profiler's disabled path costs <= 2% on the warm DLX flow.
+
+    Paired alternating rounds (PR-7 telemetry methodology): the
+    "scoped" arm runs inside ``prof.scoped`` with a disabled
+    :class:`Profiler` -- exercising the thread-local override lookup
+    and the per-stage/per-event enabled checks -- against the plain
+    default arm.  Arm order swaps every round (drift in either
+    direction hits both arms equally) and each timed run starts from a
+    collected heap, so min-vs-min isolates the intrinsic cost.
+    """
+    kwargs = dict(registers=8, multiplier=False, width=16)
+
+    # warm-up so both arms see hot generation/flow caches alike
+    _convert(hs_library, dlx_factory(**kwargs))
+
+    def timed_run(samples):
+        gc.collect()
+        start = time.perf_counter()
+        _convert(hs_library, dlx_factory(**kwargs))
+        samples.append(time.perf_counter() - start)
+
+    plain, scoped = [], []
+    disabled = Profiler(enabled=False)
+    for round_ in range(PROFILER_AB_ROUNDS):
+        arms = ["plain", "scoped"]
+        if round_ % 2:
+            arms.reverse()
+        for arm in arms:
+            if arm == "plain":
+                timed_run(plain)
+            else:
+                with prof.scoped(disabled):
+                    timed_run(scoped)
+
+    disabled_overhead_pct = round(
+        100.0 * (min(scoped) - min(plain)) / min(plain), 2
+    )
+
+    # one enabled run for the record: every stage gets a hot table and
+    # the machinery overhead estimate lands in the summary footer
+    profiler = Profiler(enabled=True)
+    with prof.scoped(profiler):
+        start = time.perf_counter()
+        result = run_once(
+            benchmark, lambda: _convert(hs_library, dlx_factory(**kwargs))
+        )
+        profiled_s = time.perf_counter() - start
+
+    assert result.network.controllers
+    assert len(profiler) > 5, "engine stages were not profiled"
+    assert all(p.hot for p in profiler.profiles())
+    estimate = profiler.overhead_estimate()
+    assert estimate["profiled_wall_s"] > 0
+    assert "profiler:" in summary_report(profiler=profiler)
+    assert "profiler machinery overhead" in profile_report(profiler)
+
+    payload = {
+        "bench": "obs_profiler",
+        "design": "dlx_small",
+        "ab_rounds": PROFILER_AB_ROUNDS,
+        "plain_min_s": round(min(plain), 4),
+        "scoped_disabled_min_s": round(min(scoped), 4),
+        "disabled_overhead_pct": disabled_overhead_pct,
+        "profiled_s": round(profiled_s, 4),
+        "profiled_stages": len(profiler),
+        "machinery_overhead_s": round(estimate["machinery_s"], 6),
+        "max_disabled_overhead_pct": PROFILER_MAX_DISABLED_OVERHEAD_PCT,
+    }
+    stamp_result(
+        payload,
+        "obs_profiler",
+        {"disabled_overhead_pct": disabled_overhead_pct},
+    )
+    emit_json("obs_profiler_overhead", payload)
+
+    gate = obs_bench.check_regression(
+        payload["metrics"],
+        name="obs_profiler",
+        ceilings={
+            "disabled_overhead_pct": PROFILER_MAX_DISABLED_OVERHEAD_PCT
+        },
+        lower_is_better=("disabled_overhead_pct",),
+    )
+    print(gate.render())
+    assert gate.ok, (
+        f"profiler disabled path costs {disabled_overhead_pct:+.2f}% "
+        f"(ceiling {PROFILER_MAX_DISABLED_OVERHEAD_PCT}%)"
     )

@@ -18,7 +18,11 @@ uploads them.
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_service.py [OUT_DIR]
-        [--min-speedup X] [--workers N]
+        [--min-speedup X] [--workers N] [--history FILE]
+
+The speedup floor goes through the shared
+:func:`repro.obs.bench.check_regression` gate; ``--history`` appends
+the stamped result to the append-only store after the gate.
 """
 
 import argparse
@@ -32,6 +36,7 @@ import time
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(ROOT, "src"))
 
+from repro.obs import bench as obs_bench  # noqa: E402
 from repro.service import (  # noqa: E402
     ServiceClient,
     ServiceDaemon,
@@ -72,6 +77,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        help="append the stamped result to this append-only store",
+    )
     args = parser.parse_args(argv)
     os.makedirs(args.out_dir, exist_ok=True)
 
@@ -134,6 +144,10 @@ def main(argv=None) -> int:
         server.stop()
         daemon.close(timeout=30.0)
 
+    # only the ratio is a gated metric -- jobs/min is machine-speed
+    # bound and stays in the free-form payload (see DESIGN.md)
+    obs_bench.stamp(payload, "service", {"speedup": payload["speedup"]},
+                    cwd=ROOT)
     out_path = os.path.join(args.out_dir, "BENCH_service.json")
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -156,8 +170,18 @@ def main(argv=None) -> int:
         print(f"copied job journals to {dest}")
     shutil.rmtree(run_dir, ignore_errors=True)
 
+    report = obs_bench.check_regression(
+        payload["metrics"],
+        name="service",
+        floors={"speedup": args.min_speedup},
+    )
+    print(report.render())
+    if args.history:
+        obs_bench.append_history(payload, args.history)
+        print(f"recorded service -> {args.history}")
+
     failures = []
-    if speedup < args.min_speedup:
+    if not report.ok:
         failures.append(
             f"warm submission only {speedup:.1f}x faster "
             f"(target >= {args.min_speedup}x)"

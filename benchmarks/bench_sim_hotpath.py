@@ -27,11 +27,14 @@ ratios, never seconds.
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_sim_hotpath.py [OUT_DIR]
-        [--check BASELINE_JSON] [--repeats N]
+        [--check BASELINE_JSON] [--history FILE] [--repeats N]
 
-``--check`` compares the fresh combined speedup and the lane-batch
-MC-throughput ratio against a committed baseline ``BENCH_sim.json``
-and exits non-zero when either regresses by more than 25%.
+``--check`` gates the fresh combined speedup and the lane-batch
+MC-throughput ratio through :func:`repro.obs.bench.check_regression`
+against a committed baseline ``BENCH_sim.json`` (>25% drop fails;
+with enough ``--history`` points the median/MAD statistical band
+takes over).  ``--history`` appends the stamped result to the
+append-only store after the gate.
 """
 
 import argparse
@@ -58,6 +61,7 @@ from repro.sim.batch import (  # noqa: E402
 from repro.sim.reactive import ReactiveEnvironment  # noqa: E402
 from repro.sim.testbench import SyncTestbench, initialize_registers  # noqa: E402
 import repro.sim.simulator as simulator_mod  # noqa: E402
+from repro.obs import bench as obs_bench  # noqa: E402
 from repro.variability import VariabilityModel  # noqa: E402
 
 N = ("nop",)
@@ -321,43 +325,47 @@ def run_bench(repeats=3):
         "identical_captures": True,
         "mc_throughput": mc,
     }
+    obs_bench.stamp(
+        bench,
+        "sim_hotpath",
+        {
+            "combined_speedup": bench["speedup"]["combined"],
+            "mc_speedup": mc["speedup"],
+        },
+        cwd=ROOT,
+    )
     return bench
 
 
-def check_regression(bench, baseline_path):
+def _baseline_metrics(baseline):
+    """Gateable metrics from a baseline, new schema or legacy layout."""
+    found = obs_bench.baseline_metrics(baseline)
+    if found:
+        return found
+    found = {"combined_speedup": baseline["speedup"]["combined"]}
+    if baseline.get("mc_throughput"):
+        found["mc_speedup"] = baseline["mc_throughput"]["speedup"]
+    return found
+
+
+def check_regression(bench, baseline_path, history_path=None):
     with open(baseline_path) as handle:
         baseline = json.load(handle)
-    status = 0
-    base = baseline["speedup"]["combined"]
-    fresh = bench["speedup"]["combined"]
-    floor = base * (1.0 - REGRESSION_TOLERANCE)
-    print(
-        f"regression check: combined speedup {fresh:.2f}x "
-        f"vs baseline {base:.2f}x (floor {floor:.2f}x)"
+    history = (
+        obs_bench.load_history(history_path, "sim_hotpath")
+        if history_path
+        else None
     )
-    if fresh < floor:
-        print(
-            f"FAIL: simulator event loop regressed "
-            f"{(1.0 - fresh / base) * 100:.0f}% vs committed baseline"
-        )
-        status = 1
-    baseline_mc = baseline.get("mc_throughput")
-    if baseline_mc:
-        base_mc = baseline_mc["speedup"]
-        fresh_mc = bench["mc_throughput"]["speedup"]
-        mc_floor = base_mc * (1.0 - REGRESSION_TOLERANCE)
-        print(
-            f"regression check: MC lane-batch ratio {fresh_mc:.2f}x "
-            f"vs baseline {base_mc:.2f}x (floor {mc_floor:.2f}x)"
-        )
-        if fresh_mc < mc_floor:
-            print(
-                f"FAIL: lane-batch MC throughput regressed "
-                f"{(1.0 - fresh_mc / base_mc) * 100:.0f}% vs committed "
-                "baseline"
-            )
-            status = 1
-    return status
+    report = obs_bench.check_regression(
+        bench["metrics"],
+        _baseline_metrics(baseline),
+        name="sim_hotpath",
+        tolerance=REGRESSION_TOLERANCE,
+        floors={"mc_speedup": MC_MIN_SPEEDUP},
+        history=history,
+    )
+    print(report.render())
+    return report.exit_code()
 
 
 def main(argv=None):
@@ -371,6 +379,12 @@ def main(argv=None):
         "--check",
         metavar="BASELINE_JSON",
         help="fail when combined speedup regresses >25%% vs this baseline",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        help="append-only history store: consulted for the statistical "
+        "gate, then appended to after the run",
     )
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
@@ -398,9 +412,13 @@ def main(argv=None):
     )
     print(f"wrote {out_file}")
 
+    status = 0
     if args.check:
-        return check_regression(bench, args.check)
-    return 0
+        status = check_regression(bench, args.check, args.history)
+    if args.history:
+        obs_bench.append_history(bench, args.history)
+        print(f"recorded sim_hotpath -> {args.history}")
+    return status
 
 
 if __name__ == "__main__":

@@ -27,11 +27,13 @@ backends see the same machine, so the ratio survives CI-runner noise.
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_sta_engine.py [OUT_DIR]
-        [--check BASELINE_JSON] [--repeats N]
+        [--check BASELINE_JSON] [--history FILE] [--repeats N]
 
-``--check`` compares the fresh combined speedup against a committed
-baseline ``BENCH_sta.json`` and exits non-zero when it regresses by
-more than 25%.
+``--check`` gates the fresh combined speedup through
+:func:`repro.obs.bench.check_regression` against a committed baseline
+``BENCH_sta.json`` (>25% drop fails; with enough ``--history`` points
+the median/MAD statistical band takes over).  ``--history`` appends
+the stamped result to the append-only store after the gate.
 """
 
 import argparse
@@ -49,6 +51,7 @@ from repro.desync import delays as delays_mod  # noqa: E402
 from repro.desync.delays import characterize_ladder  # noqa: E402
 from repro.desync.network import region_delays  # noqa: E402
 from repro.liberty import core9_hs  # noqa: E402
+from repro.obs import bench as obs_bench  # noqa: E402
 from repro.sta import (  # noqa: E402
     analyze,
     annotate_wires,
@@ -230,7 +233,7 @@ def run_bench(repeats=3):
         )
 
     corners = sorted(library.corners)
-    return {
+    bench = {
         "bench": "sta_engine",
         "design": "dlx_small (8 regs, 16-bit, no multiplier)",
         "workload": (
@@ -245,25 +248,35 @@ def run_bench(repeats=3):
         "speedup": speedup,
         "identical_results": True,
     }
+    obs_bench.stamp(
+        bench,
+        "sta_engine",
+        {"combined_speedup": speedup["combined"]},
+        cwd=ROOT,
+    )
+    return bench
 
 
-def check_regression(bench, baseline_path):
+def check_regression(bench, baseline_path, history_path=None):
     with open(baseline_path) as handle:
         baseline = json.load(handle)
-    base = baseline["speedup"]["combined"]
-    fresh = bench["speedup"]["combined"]
-    floor = base * (1.0 - REGRESSION_TOLERANCE)
-    print(
-        f"regression check: combined speedup {fresh:.2f}x "
-        f"vs baseline {base:.2f}x (floor {floor:.2f}x)"
+    base = obs_bench.baseline_metrics(baseline) or {
+        "combined_speedup": baseline["speedup"]["combined"]
+    }
+    history = (
+        obs_bench.load_history(history_path, "sta_engine")
+        if history_path
+        else None
     )
-    if fresh < floor:
-        print(
-            f"FAIL: STA engine regressed "
-            f"{(1.0 - fresh / base) * 100:.0f}% vs committed baseline"
-        )
-        return 1
-    return 0
+    report = obs_bench.check_regression(
+        bench["metrics"],
+        base,
+        name="sta_engine",
+        tolerance=REGRESSION_TOLERANCE,
+        history=history,
+    )
+    print(report.render())
+    return report.exit_code()
 
 
 def main(argv=None):
@@ -277,6 +290,12 @@ def main(argv=None):
         "--check",
         metavar="BASELINE_JSON",
         help="fail when combined speedup regresses >25%% vs this baseline",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        help="append-only history store: consulted for the statistical "
+        "gate, then appended to after the run",
     )
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
@@ -301,9 +320,13 @@ def main(argv=None):
     )
     print(f"wrote {out_file}")
 
+    status = 0
     if args.check:
-        return check_regression(bench, args.check)
-    return 0
+        status = check_regression(bench, args.check, args.history)
+    if args.history:
+        obs_bench.append_history(bench, args.history)
+        print(f"recorded sta_engine -> {args.history}")
+    return status
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from conftest import RESULTS_DIR, emit, run_once
 
 from repro.engine import write_engine_stats
 from repro.flow.implementation import implement_comparison
+from repro.obs.bench import machine_metadata
 
 PAPER = {
     "Post Synthesis": {
@@ -99,6 +100,7 @@ def test_table_5_1_dlx_area(benchmark, hs_library, dlx_factory, make_engine):
             "benchmark": "table_5_1",
             "cold_s": round(cold_time, 3),
             "warm_s": round(warm_time, 3),
+            "meta": machine_metadata(),
         },
     )
     engine.journal.close()

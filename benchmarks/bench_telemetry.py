@@ -21,7 +21,12 @@ the way the ``telemetry-smoke`` CI job uploads them.
 Run directly (not collected by pytest)::
 
     PYTHONPATH=src python benchmarks/bench_telemetry.py [OUT_DIR]
-        [--max-overhead PCT] [--warm-jobs N] [--soak N]
+        [--max-overhead PCT] [--warm-jobs N] [--soak N] [--history FILE]
+
+The overhead ceiling goes through the shared
+:func:`repro.obs.bench.check_regression` gate (lower is better);
+``--history`` appends the stamped result to the append-only store
+after the gate.
 """
 
 import argparse
@@ -37,6 +42,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(ROOT, "src"))
 
 from repro.engine import read_journal  # noqa: E402
+from repro.obs import bench as obs_bench  # noqa: E402
 from repro.service import (  # noqa: E402
     JobSpec,
     ServiceClient,
@@ -245,6 +251,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--warm-jobs", type=int, default=30)
     parser.add_argument("--soak", type=int, default=50)
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        help="append the stamped result to this append-only store",
+    )
     args = parser.parse_args(argv)
     os.makedirs(args.out_dir, exist_ok=True)
 
@@ -288,14 +299,31 @@ def main(argv=None) -> int:
         "max_overhead_pct": args.max_overhead,
         "soak": soak_result,
     }
+    obs_bench.stamp(
+        payload,
+        "telemetry",
+        {"overhead_pct": payload["overhead_pct"]},
+        cwd=ROOT,
+    )
     out_path = os.path.join(args.out_dir, "BENCH_telemetry.json")
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {out_path}")
 
+    report = obs_bench.check_regression(
+        payload["metrics"],
+        name="telemetry",
+        ceilings={"overhead_pct": args.max_overhead},
+        lower_is_better=("overhead_pct",),
+    )
+    print(report.render())
+    if args.history:
+        obs_bench.append_history(payload, args.history)
+        print(f"recorded telemetry -> {args.history}")
+
     failures = list(soak_result["problems"])
-    if overhead_pct > args.max_overhead:
+    if not report.ok:
         failures.append(
             f"telemetry overhead {overhead_pct:.2f}% exceeds "
             f"{args.max_overhead}%"

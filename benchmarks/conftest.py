@@ -15,11 +15,13 @@ resumes from cached artifacts instead of regenerating the netlists and
 re-characterising the delay ladders.
 """
 
+import json
 import os
 
 import pytest
 
 from repro.designs import dlx_core
+from repro.obs import bench as obs_bench
 from repro.engine import (
     ArtifactCache,
     FlowEngine,
@@ -39,6 +41,10 @@ CACHE_DIR = os.environ.get(
 ENGINE_JOBS = int(os.environ.get("REPRO_JOBS", "2"))
 
 
+#: the append-only history store the ``repro bench`` verbs default to
+HISTORY_PATH = os.path.join(RESULTS_DIR, "history.jsonl")
+
+
 def emit(name: str, text: str) -> None:
     """Print a reproduced table and persist it under benchmarks/results."""
     print()
@@ -46,6 +52,34 @@ def emit(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def stamp_result(payload: dict, name: str, metrics: dict) -> dict:
+    """Upgrade a benchmark payload to the unified ``repro-bench/v1``
+    schema in place: machine/python/CPU metadata, git revision and a
+    UTC timestamp next to the gated ``metrics`` block."""
+    return obs_bench.stamp(
+        payload, name, metrics, cwd=os.path.dirname(__file__)
+    )
+
+
+def emit_json(name: str, payload: dict, record: bool = False) -> str:
+    """Write a stamped benchmark payload under ``benchmarks/results``.
+
+    ``record=True`` (or ``REPRO_BENCH_RECORD=1``) also appends the
+    result to the shared append-only history store so the statistical
+    regression detector accumulates points.
+    """
+    if "metrics" not in payload:
+        raise ValueError(f"{name}: stamp_result() the payload first")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    if record or os.environ.get("REPRO_BENCH_RECORD") == "1":
+        obs_bench.append_history(payload, HISTORY_PATH)
+    return path
 
 
 @pytest.fixture(scope="session")

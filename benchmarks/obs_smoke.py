@@ -2,13 +2,14 @@
 
 Drives the ``drdesync`` CLI end-to-end on a reduced DLX core
 (8 registers, 16-bit, no multiplier) with ``--trace``/``--metrics``/
-``--journal`` plus the simulation-level artifacts
-``--vcd``/``--handshake-report``, validates everything (the VCD must
-round-trip through ``repro.obs.read_vcd``, the handshake report must
-cross-validate against the analytic model), and derives
-``BENCH_obs.json`` -- per-engine-phase wall times read back from the
-Chrome trace file plus the measured effective period, the way a
-consumer of the uploaded CI artifact would.
+``--journal``/``--profile --profile-out`` plus the simulation-level
+artifacts ``--vcd``/``--handshake-report``, validates everything (the
+VCD must round-trip through ``repro.obs.read_vcd``, the handshake
+report must cross-validate against the analytic model, the profile
+must carry per-stage hot tables and a speedscope document), and
+derives ``BENCH_obs.json`` -- per-engine-phase wall times read back
+from the Chrome trace file plus the measured effective period, the
+way a consumer of the uploaded CI artifact would.
 
 Run directly (not collected by pytest)::
 
@@ -28,6 +29,7 @@ from repro.cli import main as cli_main  # noqa: E402
 from repro.designs import dlx_core  # noqa: E402
 from repro.liberty import core9_hs  # noqa: E402
 from repro.netlist import Netlist, save_verilog  # noqa: E402
+from repro.obs import bench as obs_bench  # noqa: E402
 from repro.obs import phase_times, read_vcd  # noqa: E402
 
 EXPECTED_PHASES = {
@@ -55,6 +57,7 @@ def main(out_dir=None):
     journal_file = os.path.join(out_dir, "obs_journal.jsonl")
     vcd_file = os.path.join(out_dir, "obs_handshake.vcd")
     report_file = os.path.join(out_dir, "handshake_report.json")
+    profile_dir = os.path.join(out_dir, "obs_profile")
     code = cli_main([
         src,
         "-o", os.path.join(out_dir, "dlx_small_desync.v"),
@@ -63,6 +66,8 @@ def main(out_dir=None):
         "--journal", journal_file,
         "--trace", trace_file,
         "--metrics", metrics_file,
+        "--profile",
+        "--profile-out", profile_dir,
         "--vcd", vcd_file,
         "--handshake-report", report_file,
         "--observe-items", "8",
@@ -112,6 +117,21 @@ def main(out_dir=None):
         if info["tokens"] < 2:
             raise SystemExit(f"region {region} moved {info['tokens']} tokens")
 
+    # the CLI --profile artifacts: schema-tagged JSON with per-stage
+    # hot tables plus an embedded speedscope document
+    with open(os.path.join(profile_dir, "profile.json")) as handle:
+        profile = json.load(handle)
+    if profile.get("schema") != "repro-profile/v1":
+        raise SystemExit(f"unexpected profile schema: {profile.get('schema')}")
+    if not profile["stages"] or not all(s["hot"] for s in profile["stages"]):
+        raise SystemExit("profile has stages without hot-function tables")
+    speedscope = profile["speedscope"]
+    if len(speedscope["profiles"]) != profile["stage_count"]:
+        raise SystemExit("speedscope document does not cover every stage")
+    collapsed = os.path.join(profile_dir, "profile.collapsed.txt")
+    if os.path.getsize(collapsed) == 0:
+        raise SystemExit("collapsed-stack export is empty")
+
     bench = {
         "bench": "obs_smoke",
         "design": "dlx_small",
@@ -124,7 +144,14 @@ def main(out_dir=None):
         "critical_region_measured": report["critical_region_measured"],
         "vcd_nets": len(dump["names"]),
         "vcd_changes": len(dump["changes"]),
+        "profiled_stages": profile["stage_count"],
     }
+    obs_bench.stamp(
+        bench,
+        "obs_smoke",
+        {"profiled_stages": profile["stage_count"]},
+        cwd=ROOT,
+    )
     bench_file = os.path.join(out_dir, "BENCH_obs.json")
     with open(bench_file, "w") as handle:
         json.dump(bench, handle, indent=2, sort_keys=True)
@@ -132,6 +159,7 @@ def main(out_dir=None):
 
     print(f"obs smoke OK: {len(events)} spans, "
           f"{bench['total_s']:.3f}s across {len(phases)} phases, "
+          f"{profile['stage_count']} profiled stages, "
           f"VCD {len(dump['names'])} nets / {len(dump['changes'])} changes, "
           f"measured period {measured:.3f} ns")
     print(f"wrote {bench_file}")

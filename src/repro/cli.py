@@ -7,6 +7,7 @@ Usage::
     drdesync serve  [--port 8642] [--workers N] ...   # job daemon
     drdesync submit DESIGN [--wait] [--url URL] ...   # client verbs
     drdesync status [JOB_ID] [--url URL]
+    drdesync bench  record|compare|report ...         # benchmark history
     drdesync design.v -o out.v --sdc out.sdc [--blif out.blif]
              [--library hs|ll | --liberty file.lib]
              [--group auto|single] [--false-path NET ...]
@@ -14,6 +15,7 @@ Usage::
              [--jobs 4] [--journal run.jsonl]
              [--cache-dir DIR | --no-cache]
              [--trace trace.json] [--metrics metrics.json]
+             [--profile [--profile-out DIR]]
              [--vcd waves.vcd] [--vcd-net GLOB ...]
              [--handshake-report report.json] [--observe-items N]
              [-v | --log-level LEVEL | --quiet]
@@ -32,8 +34,11 @@ spans for every engine stage and pipeline phase and writes them as
 Chrome trace-event JSON (load in Perfetto / chrome://tracing);
 ``--metrics FILE`` snapshots the counters, gauges, and histograms the
 flow maintains (region sizes, DDG fan-in, delay-ladder selection
-error, cache hits, ...).  Both are off by default and cost nothing
-when off.
+error, cache hits, ...); ``--profile`` captures deterministic
+per-stage profiles (cProfile hot-function tables, tracemalloc peaks,
+sim-kernel counters) and ``--profile-out DIR`` writes them as JSON,
+speedscope and collapsed-stack files.  All are off by default and
+cost nothing when off.
 
 Simulation-level observability: ``--vcd FILE`` simulates the converted
 design under its handshake environment and writes a VCD waveform
@@ -61,13 +66,17 @@ from .liberty.parser import read_liberty
 from .netlist.verilog import read_verilog
 from .obs import (
     MetricsRegistry,
+    Profiler,
     Tracer,
     configure_logging,
     metrics,
+    prof,
+    profile_report,
     summary_report,
     trace,
     write_chrome_trace,
     write_metrics,
+    write_profile,
 )
 
 EXIT_OK = 0
@@ -75,7 +84,9 @@ EXIT_USAGE = 1
 EXIT_FLOW = 2
 
 #: first-argument verbs routed to :mod:`repro.service.cli`
-SERVICE_COMMANDS = ("serve", "submit", "status", "trace", "cancel", "shutdown")
+SERVICE_COMMANDS = (
+    "serve", "submit", "status", "trace", "profile", "cancel", "shutdown"
+)
 
 log = logging.getLogger("repro.cli")
 
@@ -186,6 +197,18 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--metrics",
         metavar="FILE",
         help="write a JSON snapshot of flow metrics",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture deterministic per-stage profiles (cProfile + "
+        "tracemalloc + sim-kernel counters)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="DIR",
+        help="with --profile: write profile.json, speedscope and "
+        "collapsed-stack files into DIR",
     )
     parser.add_argument(
         "--vcd",
@@ -345,6 +368,10 @@ def _run_flow(args: argparse.Namespace) -> int:
     if args.metrics:
         registry = MetricsRegistry()
         metrics.set_registry(registry)
+    profiler = None
+    if args.profile or args.profile_out:
+        profiler = Profiler(enabled=True)
+        prof.set_profiler(profiler)
 
     tool = Drdesync(library, engine=engine)
     options = DesyncOptions(
@@ -412,6 +439,23 @@ def _run_flow(args: argparse.Namespace) -> int:
                 args.metrics,
                 len(registry),
             )
+        if profiler is not None:
+            overhead = profiler.overhead_estimate()
+            log.info(
+                "profiled %d stage(s) (machinery overhead %.4fs, "
+                "%.2f%% of profiled wall)",
+                len(profiler),
+                overhead["machinery_s"],
+                100.0 * overhead["fraction"],
+            )
+            if args.profile_out:
+                paths = write_profile(
+                    args.profile_out, profiler, name=module.name
+                )
+                for kind in sorted(paths):
+                    log.info("profile %s written to %s", kind, paths[kind])
+            else:
+                log.debug("profile report:\n%s", profile_report(profiler))
 
         if args.vcd or args.handshake_report:
             _observe_result(args, result, library)
@@ -421,6 +465,8 @@ def _run_flow(args: argparse.Namespace) -> int:
             trace.reset_tracer()
         if registry is not None:
             metrics.reset_registry()
+        if profiler is not None:
+            prof.reset_profiler()
 
     _print_summary(result, module, engine, cache)
     return EXIT_OK
@@ -434,6 +480,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .service.cli import service_main
 
         return service_main(argv)
+    if argv and argv[0] == "bench":
+        # benchmark history verbs: record / compare / report
+        from .obs.bench import bench_main
+
+        return bench_main(argv[1:])
     parser = build_argument_parser()
     try:
         args = parser.parse_args(argv)

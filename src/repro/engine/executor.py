@@ -30,7 +30,7 @@ from enum import Enum
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..netlist.core import Module
-from ..obs import metrics, trace
+from ..obs import metrics, prof, trace
 from .cache import ArtifactCache, LazyArtifact, stable_hash
 from .graph import FlowGraph, Stage
 from .journal import RunJournal
@@ -251,10 +251,12 @@ class _RunState:
         self.engine = engine
         self.graph = graph
         self.label = label
-        # the effective tracer at run entry (a service job's scoped
-        # per-job tracer, or the process singleton); pool threads
-        # re-activate it so parallel stages trace into the right tree
+        # the effective tracer/profiler at run entry (a service job's
+        # scoped per-job instances, or the process singletons); pool
+        # threads re-activate the scope so parallel stages trace and
+        # profile into the right job
         self.tracer = trace.get_tracer()
+        self.profiler = prof.get_profiler()
         self.order = graph.topological_order()
         self.artifacts: ArtifactMap = ArtifactMap(initial)
         self.records: Dict[str, StageRecord] = {}
@@ -351,6 +353,7 @@ class _RunState:
         """Run the stage with its retry policy; returns (outputs, tries)."""
         attempts = 0
         retries = max(stage.retries, self.engine.default_retries)
+        profiler = self.profiler
         with trace.scoped(self.tracer):
             while True:
                 attempts += 1
@@ -367,7 +370,17 @@ class _RunState:
                         graph=self.graph.name,
                         attempt=attempts,
                     ):
-                        outputs = stage.call(inputs)
+                        if profiler.enabled:
+                            # scoped so kernel counter hooks on this
+                            # thread attribute to this stage's profile
+                            with prof.scoped(profiler), profiler.stage(
+                                stage.name,
+                                self.graph.name,
+                                attempt=attempts,
+                            ):
+                                outputs = stage.call(inputs)
+                        else:
+                            outputs = stage.call(inputs)
                     return outputs, attempts
                 except Exception as exc:
                     metrics.counter("engine.stage.errors").inc()

@@ -10,20 +10,39 @@ ts/dur nesting, so the exported file shows in-stage spans stacked
 under their engine stage exactly as they ran.
 
 ``summary_report`` renders the aggregated tree as text (the poor
-operator's flame graph); ``write_metrics`` persists a
+operator's flame graph), with a footer admitting bounded-retention
+span drops and the profiler's machinery overhead when either is
+non-zero; ``write_metrics`` persists a
 :class:`repro.obs.metrics.MetricsRegistry` snapshot; ``phase_times``
 extracts per-stage wall times (the ``BENCH_obs.json`` payload) from a
 tracer or from a previously written trace file.
+
+Profiler exports live here too: :func:`speedscope_document` folds a
+:class:`repro.obs.prof.Profiler`'s per-stage call graphs into one
+`speedscope <https://www.speedscope.app>`_ JSON file (one sampled
+profile per stage, weights in seconds), :func:`collapsed_stacks`
+emits Brendan Gregg collapsed-stack text for ``flamegraph.pl``-style
+tooling, and :func:`profile_document` bundles the per-stage
+hot-function tables with the speedscope payload -- the body of the
+service daemon's ``GET /jobs/<id>/profile``.  cProfile records a call
+*graph*, not stack samples; each function's self time is attributed
+to one representative stack built by following its heaviest caller
+chain, so widths are exact per function and approximate per path.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .metrics import MetricsRegistry, get_registry
+from .prof import Profiler, get_profiler
+from .prof import _func_label as _frame_label
 from .trace import Span, Tracer, get_tracer
+
+#: speedscope's published file-format schema URL
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
 
 #: span-name prefix the engine gives to stage spans
 STAGE_PREFIX = "stage:"
@@ -132,11 +151,47 @@ def aggregate_spans(tracer: Optional[Tracer] = None) -> Dict[str, Dict[str, Any]
     return out
 
 
-def summary_report(tracer: Optional[Tracer] = None) -> str:
-    """Aggregated span tree as indented text, heaviest paths first."""
+def _retention_footer(
+    tracer: Tracer, profiler: Optional[Profiler]
+) -> List[str]:
+    """Truncation/overhead admissions for :func:`summary_report`."""
+    lines: List[str] = []
+    dropped = getattr(tracer, "dropped", 0)
+    if dropped:
+        lines.append(
+            f"(dropped {dropped} span(s) beyond the "
+            f"max_spans={tracer.max_spans} retention ring)"
+        )
+    if profiler is not None and len(profiler):
+        overhead = profiler.overhead_estimate()
+        lines.append(
+            f"(profiler: {len(profiler)} stage profile(s), machinery "
+            f"overhead {overhead['machinery_s']:.4f}s, "
+            f"{overhead['fraction'] * 100:.2f}% of profiled wall"
+        )
+        if profiler.dropped:
+            lines[-1] += f", {profiler.dropped} profile(s) dropped"
+        lines[-1] += ")"
+    return lines
+
+
+def summary_report(
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[Profiler] = None,
+) -> str:
+    """Aggregated span tree as indented text, heaviest paths first.
+
+    The footer surfaces the tracer's dropped-span count and the
+    profiler's overhead estimate so bounded retention is visible
+    instead of silent.  ``profiler`` defaults to the effective one.
+    """
+    tracer = tracer or get_tracer()
+    if profiler is None:
+        profiler = get_profiler()
+    footer = _retention_footer(tracer, profiler)
     aggregated = aggregate_spans(tracer)
     if not aggregated:
-        return "(no spans recorded)"
+        return "\n".join(["(no spans recorded)"] + footer)
     lines = [
         f"{'span':44s} {'count':>6s} {'total (s)':>10s} "
         f"{'self (s)':>10s} {'mean (s)':>10s}"
@@ -164,7 +219,7 @@ def summary_report(tracer: Optional[Tracer] = None) -> str:
 
     for root in children_of(None):
         emit(root)
-    return "\n".join(lines)
+    return "\n".join(lines + footer)
 
 
 def phase_times(
@@ -364,3 +419,239 @@ def write_metrics(
         json.dump(snapshot, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return snapshot
+
+
+# ----------------------------------------------------------------------
+# profiler exports: folded stacks, speedscope, hot-function tables
+# ----------------------------------------------------------------------
+_FuncKey = Tuple[str, int, str]
+
+
+def _representative_stack(
+    raw_stats: Dict[_FuncKey, Any], func: _FuncKey, max_depth: int = 64
+) -> List[_FuncKey]:
+    """Leaf-to-root chain for ``func`` via its heaviest caller edges.
+
+    cProfile keeps a call graph, so a function may have many callers;
+    the fold follows the caller contributing the most cumulative time
+    at each step (ties broken by the pstats sort order), guarding
+    against recursion cycles and runaway depth.  Returned root-first.
+    """
+    chain = [func]
+    seen = {func}
+    current = func
+    for _ in range(max_depth):
+        entry = raw_stats.get(current)
+        if entry is None:
+            break
+        callers = entry[4]
+        if not callers:
+            break
+        best = None
+        best_weight = -1.0
+        for caller in sorted(callers):
+            stats = callers[caller]
+            weight = stats[3] if isinstance(stats, tuple) else float(stats)
+            if weight > best_weight:
+                best = caller
+                best_weight = weight
+        if best is None or best in seen:
+            break
+        chain.append(best)
+        seen.add(best)
+        current = best
+    chain.reverse()
+    return chain
+
+
+def folded_stacks(
+    profiler: Optional[Profiler] = None,
+) -> List[Tuple[str, List[_FuncKey], float]]:
+    """``(stage, root-first frames, self seconds)`` per hot function."""
+    profiler = profiler or get_profiler()
+    out: List[Tuple[str, List[_FuncKey], float]] = []
+    for record in profiler.profiles():
+        for func in sorted(record.raw_stats):
+            tt = record.raw_stats[func][2]
+            if tt <= 0.0:
+                continue
+            out.append(
+                (record.name, _representative_stack(record.raw_stats, func), tt)
+            )
+    return out
+
+
+def collapsed_stacks(profiler: Optional[Profiler] = None) -> str:
+    """Brendan Gregg collapsed-stack text (counts in microseconds).
+
+    Each line is ``stage;frame;...;frame weight`` -- pipe into
+    ``flamegraph.pl`` or drag onto speedscope to get a flame graph.
+    Stacks are prefixed with their stage so per-stage flames separate.
+    """
+    lines: List[str] = []
+    for stage_name, frames, seconds in folded_stacks(profiler):
+        weight = int(round(seconds * 1e6))
+        if weight <= 0:
+            continue
+        path = ";".join(
+            [stage_name] + [_frame_label(frame) for frame in frames]
+        )
+        lines.append(f"{path} {weight}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_document(
+    profiler: Optional[Profiler] = None, name: str = "repro profile"
+) -> Dict[str, Any]:
+    """The profiler's stage call graphs as one speedscope JSON document.
+
+    One ``"sampled"``-type profile per stage (weights in seconds, one
+    sample per hot function's representative stack), sharing a global
+    frame table.  Validates against speedscope's published schema and
+    opens directly at https://www.speedscope.app.
+    """
+    profiler = profiler or get_profiler()
+    frames: List[Dict[str, Any]] = []
+    frame_index: Dict[_FuncKey, int] = {}
+
+    def intern(func: _FuncKey) -> int:
+        index = frame_index.get(func)
+        if index is None:
+            index = len(frames)
+            frame_index[func] = index
+            filename, line, funcname = func
+            frame: Dict[str, Any] = {"name": _frame_label(func)}
+            if filename != "~":
+                frame["file"] = filename
+                frame["line"] = line
+            frames.append(frame)
+        return index
+
+    profiles: List[Dict[str, Any]] = []
+    for record in profiler.profiles():
+        samples: List[List[int]] = []
+        weights: List[float] = []
+        for func in sorted(record.raw_stats):
+            tt = record.raw_stats[func][2]
+            if tt <= 0.0:
+                continue
+            stack = _representative_stack(record.raw_stats, func)
+            samples.append([intern(frame) for frame in stack])
+            weights.append(round(tt, 9))
+        total = round(sum(weights), 9)
+        profiles.append(
+            {
+                "type": "sampled",
+                "name": f"stage:{record.name}",
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        )
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA,
+        "name": name,
+        "exporter": "repro.obs",
+        "activeProfileIndex": 0 if profiles else None,
+        "shared": {"frames": frames},
+        "profiles": profiles,
+    }
+
+
+def profile_document(
+    profiler: Optional[Profiler] = None, name: str = "repro profile"
+) -> Dict[str, Any]:
+    """Hot-function tables plus the speedscope payload, JSON-shaped.
+
+    This is the body served by the daemon's ``GET /jobs/<id>/profile``
+    and written by the CLI's ``--profile-out``: everything a human (or
+    a flame-graph tool) needs to answer *where the time went*.
+    """
+    profiler = profiler or get_profiler()
+    document = profiler.to_dict()
+    document["schema"] = "repro-profile/v1"
+    document["speedscope"] = speedscope_document(profiler, name=name)
+    return document
+
+
+def profile_report(profiler: Optional[Profiler] = None) -> str:
+    """Per-stage hot-function tables as plain text."""
+    profiler = profiler or get_profiler()
+    records = profiler.profiles()
+    if not records:
+        return "(no stage profiles captured)"
+    lines: List[str] = []
+    for record in records:
+        header = (
+            f"stage {record.name}: wall {record.wall_s:.4f}s, "
+            f"cpu {record.cpu_s:.4f}s, {record.calls} calls"
+        )
+        if record.mem_peak_kb is not None:
+            header += (
+                f", mem peak {record.mem_peak_kb:.0f} KB "
+                f"(delta {record.mem_delta_kb:+.0f} KB)"
+            )
+        lines.append(header)
+        lines.append(
+            f"  {'self (s)':>10s} {'cum (s)':>10s} {'calls':>8s}  function"
+        )
+        for row in record.hot:
+            lines.append(
+                f"  {row['self_s']:>10.4f} {row['cum_s']:>10.4f} "
+                f"{row['calls']:>8d}  {row['func']}"
+            )
+        if record.counters:
+            counters = " ".join(
+                f"{key}={record.counters[key]}"
+                for key in sorted(record.counters)
+            )
+            lines.append(f"  counters: {counters}")
+        lines.append("")
+    overhead = profiler.overhead_estimate()
+    lines.append(
+        f"profiler machinery overhead: {overhead['machinery_s']:.4f}s "
+        f"({overhead['fraction'] * 100:.2f}% of profiled wall)"
+    )
+    if profiler.dropped:
+        lines.append(
+            f"dropped {profiler.dropped} stage profile(s) beyond "
+            f"max_profiles={profiler.max_profiles}"
+        )
+    return "\n".join(lines)
+
+
+def write_profile(
+    out_dir: str,
+    profiler: Optional[Profiler] = None,
+    name: str = "repro profile",
+    prefix: str = "profile",
+) -> Dict[str, str]:
+    """Write every profile artifact into ``out_dir``.
+
+    Emits ``<prefix>.json`` (the :func:`profile_document`),
+    ``<prefix>.speedscope.json``, ``<prefix>.collapsed.txt`` and
+    ``<prefix>.txt`` (hot tables); returns ``{kind: path}``.
+    """
+    profiler = profiler or get_profiler()
+    os.makedirs(out_dir, exist_ok=True)
+    document = profile_document(profiler, name=name)
+    paths = {
+        "profile": os.path.join(out_dir, f"{prefix}.json"),
+        "speedscope": os.path.join(out_dir, f"{prefix}.speedscope.json"),
+        "collapsed": os.path.join(out_dir, f"{prefix}.collapsed.txt"),
+        "report": os.path.join(out_dir, f"{prefix}.txt"),
+    }
+    with open(paths["profile"], "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    with open(paths["speedscope"], "w") as handle:
+        json.dump(document["speedscope"], handle, indent=1)
+        handle.write("\n")
+    with open(paths["collapsed"], "w") as handle:
+        handle.write(collapsed_stacks(profiler))
+    with open(paths["report"], "w") as handle:
+        handle.write(profile_report(profiler))
+        handle.write("\n")
+    return paths

@@ -9,9 +9,11 @@
                  [--no-telemetry] [--log-level LEVEL]
     repro submit DESIGN [--url URL] [--param k=v ...] [--option k=v ...]
                  [--library hs|ll] [--top NAME] [--priority N]
-                 [--timeout S] [--no-reuse] [--wait] [--verilog-out F]
+                 [--timeout S] [--profile] [--no-reuse] [--wait]
+                 [--verilog-out F]
     repro status [JOB_ID] [--url URL]
     repro trace  JOB_ID [--url URL] [--out FILE]
+    repro profile JOB_ID [--url URL] [--out FILE]
     repro cancel JOB_ID [--url URL]
     repro shutdown [--url URL]
 
@@ -35,7 +37,9 @@ DEFAULT_URL = "http://127.0.0.1:8642"
 
 log = logging.getLogger("repro.service.cli")
 
-SERVICE_COMMANDS = ("serve", "submit", "status", "trace", "cancel", "shutdown")
+SERVICE_COMMANDS = (
+    "serve", "submit", "status", "trace", "profile", "cancel", "shutdown"
+)
 
 
 def _parse_kv(pairs: List[str], label: str) -> Dict[str, Any]:
@@ -141,6 +145,10 @@ def build_service_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--timeout", type=float, default=None)
     submit.add_argument(
+        "--profile", action="store_true",
+        help="capture a per-stage profile (fetch with 'repro profile')",
+    )
+    submit.add_argument(
         "--no-reuse", action="store_true",
         help="force a fresh run even when an identical job exists",
     )
@@ -165,6 +173,16 @@ def build_service_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out", metavar="FILE",
         help="write the trace JSON here instead of stdout",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="fetch a job's per-stage profile document"
+    )
+    add_url(profile)
+    profile.add_argument("job_id")
+    profile.add_argument(
+        "--out", metavar="FILE",
+        help="write the profile JSON here instead of stdout",
     )
 
     cancel = sub.add_parser("cancel", help="cancel a queued job")
@@ -224,6 +242,7 @@ def _cmd_submit(args) -> int:
         "library": args.library,
         "priority": args.priority,
         "timeout": args.timeout,
+        "profile": args.profile,
         "options": options_from_dict(_parse_kv(args.option, "option")),
     }
     if args.parent or args.edits:
@@ -319,6 +338,24 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from .client import ServiceClient
+
+    document = ServiceClient(args.url).profile(args.job_id)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(
+            f"wrote {document.get('stage_count', 0)} stage profile(s) "
+            f"to {args.out} (speedscope doc inside; "
+            "load at https://www.speedscope.app)"
+        )
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_cancel(args) -> int:
     from .client import ServiceClient
 
@@ -350,6 +387,7 @@ def service_main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "cancel": _cmd_cancel,
         "shutdown": _cmd_shutdown,
     }

@@ -108,6 +108,10 @@ class ServiceClient:
         """A job's Perfetto-loadable trace document."""
         return self._request("GET", f"/jobs/{job_id}/trace")
 
+    def profile(self, job_id: str) -> Dict[str, Any]:
+        """A profiled job's per-stage hot tables + speedscope doc."""
+        return self._request("GET", f"/jobs/{job_id}/profile")
+
     def dashboard(self) -> str:
         """The live dashboard HTML (``GET /dashboard``)."""
         request = Request(self.base_url + "/dashboard", method="GET")

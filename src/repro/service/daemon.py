@@ -41,8 +41,9 @@ from ..engine.cache import ArtifactCache
 from ..engine.executor import FlowEngine
 from ..engine.journal import RunJournal
 from ..obs import metrics as metrics_mod
+from ..obs import prof as prof_mod
 from ..obs import trace as trace_mod
-from ..obs.export import trace_document
+from ..obs.export import profile_document, trace_document
 from ..obs.metrics import MetricsRegistry
 from .jobs import JobSpec, execute_job, job_key, result_payload
 from .queue import Job, JobQueue, JobState, QueueClosed, QueueFull
@@ -74,6 +75,7 @@ _METRIC_HELP = {
     "service.queue.wait_s": "submit-to-start queue wait (seconds)",
     "service.stage_runs": "per-stage executions by cache disposition",
     "service.trace.spans_dropped": "spans dropped by per-job ring buffers",
+    "service.profiles.captured": "jobs run with --profile capture",
 }
 
 
@@ -95,6 +97,7 @@ class ServiceDaemon:
         slos: Optional[Sequence[SLO]] = None,
         max_trace_spans: int = 5000,
         max_traces: int = 256,
+        max_profile_stages: int = 512,
         eco_sessions: int = 4,
     ):
         self.run_dir = os.path.abspath(run_dir)
@@ -135,6 +138,7 @@ class ServiceDaemon:
                 slos=slos,
                 max_traces=max_traces,
                 max_trace_spans=max_trace_spans,
+                max_profile_stages=max_profile_stages,
                 hook=self._sample_hook,
             )
         self.queue = JobQueue(
@@ -281,16 +285,25 @@ class ServiceDaemon:
             tracer = self.telemetry.job_tracer(
                 job_id, trace_id, journal=journal
             )
+        # --profile jobs get a per-job profiler scoped to this worker
+        # thread (and re-scoped onto engine pool threads), retained in
+        # the hub's bounded registry for GET /jobs/<id>/profile
+        profiler = None
+        if spec.profile and self.telemetry is not None:
+            profiler = self.telemetry.job_profiler(
+                job_id, profile_id=trace_id
+            )
+            self.registry.counter("service.profiles.captured").inc()
         engine = FlowEngine(
             cache=self.cache, journal=journal, jobs=self.flow_jobs
         )
         try:
             if spec.parent is not None:
-                with trace_mod.scoped(tracer):
+                with trace_mod.scoped(tracer), prof_mod.scoped(profiler):
                     payload = self._run_eco_job(job_id, spec)
                 payload["trace_id"] = trace_id
                 return payload
-            with trace_mod.scoped(tracer):
+            with trace_mod.scoped(tracer), prof_mod.scoped(profiler):
                 result = execute_job(spec, library, engine)
             run = engine.results[-1]
             for record in run.records.values():
@@ -460,6 +473,16 @@ class ServiceDaemon:
             "wall_time": job.wall_time,
             "error": job.error,
         }
+        # bounded-retention honesty: how many spans the job's ring
+        # buffer clipped, and whether a profile is retained to fetch
+        status["profiled"] = False
+        if self.telemetry is not None:
+            tracer = self.telemetry.get_tracer(job_id)
+            if tracer is not None and tracer.dropped:
+                status["trace_dropped"] = tracer.dropped
+            status["profiled"] = (
+                self.telemetry.get_profiler(job_id) is not None
+            )
         if job.state is JobState.DONE and isinstance(job.result, dict):
             status["stages"] = job.result.get("stages")
         return status
@@ -548,6 +571,36 @@ class ServiceDaemon:
             job=job_id,
             state=job.state.value,
             design=job.meta["spec"].design or "verilog",
+        )
+        return document
+
+    def job_profile(self, job_id: str) -> Dict[str, Any]:
+        """One job's captured profile: hot tables plus speedscope.
+
+        Raises ``KeyError`` for an unknown job and ``LookupError`` when
+        no profile is retained (job not submitted with ``profile``,
+        telemetry off, or the profiler aged out of the bounded
+        registry).
+        """
+        job = self.queue.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        profiler = (
+            self.telemetry.get_profiler(job_id)
+            if self.telemetry is not None
+            else None
+        )
+        if profiler is None:
+            raise LookupError(
+                f"no profile retained for job {job_id} (submit with "
+                "profile=true, or the profile was evicted)"
+            )
+        document = profile_document(profiler, name=f"job {job_id}")
+        document.update(
+            job=job_id,
+            state=job.state.value,
+            design=job.meta["spec"].design or "verilog",
+            trace_id=job.meta.get("trace_id"),
         )
         return document
 

@@ -9,6 +9,8 @@ Routes (all bodies JSON):
   the converted netlist)
 - ``GET  /jobs/<id>/trace``   the job's spans as a Perfetto-loadable
   Chrome trace-event file (trace correlation)
+- ``GET  /jobs/<id>/profile`` the captured per-stage profile (hot
+  function tables + a speedscope document) for a ``profile: true`` job
 - ``POST /jobs/<id>/cancel``  cancel a queued job
 - ``GET  /metrics``           service + registry snapshot
   (``?format=prometheus`` for text exposition)
@@ -40,7 +42,9 @@ from .queue import QueueClosed, QueueFull
 
 log = logging.getLogger("repro.service.http")
 
-_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]+)(/(result|cancel|trace))?$")
+_JOB_PATH = re.compile(
+    r"^/jobs/([0-9a-f]+)(/(result|cancel|trace|profile))?$"
+)
 
 
 class ServiceRequestError(Exception):
@@ -169,6 +173,9 @@ class _Handler(BaseHTTPRequestHandler):
         if match and match.group(3) == "trace":
             self._send_json(200, self._job_trace(match.group(1)))
             return
+        if match and match.group(3) == "profile":
+            self._send_json(200, self._job_profile(match.group(1)))
+            return
         raise ServiceRequestError(404, f"no route for GET {path}")
 
     def _job_status(self, job_id: str) -> Dict[str, Any]:
@@ -188,6 +195,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _job_trace(self, job_id: str):
         try:
             return self.daemon.job_trace(job_id)
+        except KeyError:
+            raise ServiceRequestError(404, f"unknown job {job_id!r}")
+        except LookupError as exc:
+            raise ServiceRequestError(404, str(exc))
+
+    def _job_profile(self, job_id: str):
+        try:
+            return self.daemon.job_profile(job_id)
         except KeyError:
             raise ServiceRequestError(404, f"unknown job {job_id!r}")
         except LookupError as exc:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.prof import Profiler
 from ..obs.timeseries import TimeSeriesSampler, TimeSeriesStore
 from ..obs.trace import Tracer
 
@@ -177,6 +178,7 @@ class TelemetryHub:
         slos: Optional[Sequence[SLO]] = None,
         max_traces: int = 256,
         max_trace_spans: int = 5000,
+        max_profile_stages: int = 512,
         hook=None,
     ):
         self.registry = registry
@@ -184,6 +186,7 @@ class TelemetryHub:
         self.slos: List[SLO] = list(default_slos() if slos is None else slos)
         self.max_traces = max(1, int(max_traces))
         self.max_trace_spans = max_trace_spans
+        self.max_profile_stages = max_profile_stages
         self.store = TimeSeriesStore(capacity=capacity)
         self.sampler = TimeSeriesSampler(
             self.store, registry, interval=interval, hook=hook
@@ -192,6 +195,9 @@ class TelemetryHub:
         #: job id -> per-job Tracer, newest last; bounded LRU-by-insertion
         self._traces: "OrderedDict[str, Tracer]" = OrderedDict()
         self.evicted_traces = 0
+        #: job id -> per-job Profiler, bounded exactly like the tracers
+        self._profiles: "OrderedDict[str, Profiler]" = OrderedDict()
+        self.evicted_profiles = 0
 
     # -- per-job tracers -----------------------------------------------
     def job_tracer(self, job_id: str, trace_id: str,
@@ -217,6 +223,37 @@ class TelemetryHub:
     def trace_count(self) -> int:
         with self._lock:
             return len(self._traces)
+
+    # -- per-job profilers ----------------------------------------------
+    def job_profiler(
+        self, job_id: str, profile_id: Optional[str] = None
+    ) -> Profiler:
+        """Create and register the profiler for one ``--profile`` job.
+
+        Bounded by ``max_traces`` exactly like the tracer registry, so
+        a daemon fielding profiled jobs forever stays flat in memory;
+        each profiler additionally rings its own stage retention at
+        ``max_profile_stages``.
+        """
+        profiler = Profiler(
+            enabled=True,
+            max_profiles=self.max_profile_stages,
+            profile_id=profile_id,
+        )
+        with self._lock:
+            self._profiles[job_id] = profiler
+            while len(self._profiles) > self.max_traces:
+                self._profiles.popitem(last=False)
+                self.evicted_profiles += 1
+        return profiler
+
+    def get_profiler(self, job_id: str) -> Optional[Profiler]:
+        with self._lock:
+            return self._profiles.get(job_id)
+
+    def profile_count(self) -> int:
+        with self._lock:
+            return len(self._profiles)
 
     def span_count(self) -> int:
         """Total retained spans across all job tracers (soak metric)."""
@@ -313,7 +350,8 @@ _DASHBOARD_TEMPLATE = """<!DOCTYPE html>
 <h2>Jobs</h2>
 <table id="jobs"><thead>
 <tr><th class="mono">id</th><th>design</th><th>state</th><th>wall (s)</th>
-<th class="mono">trace</th></tr>
+<th>dropped spans</th><th class="mono">trace</th>
+<th class="mono">profile</th></tr>
 </thead><tbody></tbody></table>
 
 <script>
@@ -407,7 +445,10 @@ function renderJobs(jobs) {
     `<tr><td class="mono">${job.id}</td><td>${job.design}</td>` +
     `<td class="state-${job.state}">${job.state}</td>` +
     `<td>${job.wall_time ? job.wall_time.toFixed(3) : "&ndash;"}</td>` +
-    `<td class="mono"><a href="/jobs/${job.id}/trace">trace</a></td></tr>`
+    `<td>${job.trace_dropped ? job.trace_dropped : 0}</td>` +
+    `<td class="mono"><a href="/jobs/${job.id}/trace">trace</a></td>` +
+    `<td class="mono">${job.profiled
+      ? `<a href="/jobs/${job.id}/profile">profile</a>` : "&ndash;"}</td></tr>`
   ).join("");
 }
 

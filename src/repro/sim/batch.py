@@ -47,7 +47,7 @@ from ..liberty.functions import (
 from ..liberty.model import CellKind, Library
 from ..netlist.core import Module, PortDirection
 from ..netlist.index import ConnectivityIndex
-from ..obs import metrics
+from ..obs import metrics, prof
 from .simulator import SimulationError, Simulator, Value
 
 #: a (value plane, x plane) pair
@@ -599,6 +599,19 @@ class BatchSimulator:
         self.cycles += 1
         self.now = float(self.cycles)
         metrics.counter("sim.batch.cycles").inc()
+        if prof.enabled():
+            # cumulative kernel counters max-merge to their latest
+            # value; lane occupancy is live lanes over lane capacity
+            prof.add_counters(batch_cycles=1)
+            prof.peak_counters(
+                batch_cell_evals=self.cell_evals,
+                batch_seq_evals=self.seq_evals,
+                batch_commits=self.commits,
+                batch_lanes=self.lanes,
+                batch_lane_occupancy=round(
+                    bin(self.mask).count("1") / max(1, self.lanes), 4
+                ),
+            )
 
     # ------------------------------------------------------------------
     # capture readback

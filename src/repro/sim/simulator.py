@@ -47,7 +47,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from ..liberty.functions import compile_function_indexed, reference_function
 from ..liberty.model import CellKind, Library
 from ..netlist.core import Module, PortDirection
-from ..obs import metrics
+from ..obs import metrics, prof
 from ..sta.graph import compute_net_loads
 
 Value = Optional[int]
@@ -566,8 +566,14 @@ class Simulator:
         toggle_counts = self.toggle_counts
         seq_no = self._seq
         miss = _MISS
+        # queue-depth high-water for stage profiles; when profiling is
+        # off the per-event cost is one short-circuited bool check
+        profiling = prof.enabled()
+        queue_hw = len(queue) if profiling else 0
         try:
             while queue and queue[0][0] <= end_time:
+                if profiling and len(queue) > queue_hw:
+                    queue_hw = len(queue)
                 now = queue[0][0]
                 self.now = now
                 _, _, rec, value = heappop(queue)
@@ -845,14 +851,23 @@ class Simulator:
         if events:
             metrics.counter("sim.events").inc(events)
             metrics.counter("sim.evaluations").inc(evaluations)
+            if profiling:
+                prof.add_counters(
+                    sim_events=events, sim_evaluations=evaluations
+                )
+                prof.peak_counters(sim_queue_high_water=queue_hw)
 
     def _run_reference(self, end_time: float, max_events: int) -> None:
         """Original event loop, kept verbatim as the measured baseline
         (plus the selective-watcher dispatch both kernels share)."""
         events = 0
         evaluations = 0
+        profiling = prof.enabled()
+        queue_hw = len(self._queue) if profiling else 0
         net_watchers = self._net_watchers
         while self._queue and self._queue[0][0] <= end_time:
+            if profiling and len(self._queue) > queue_hw:
+                queue_hw = len(self._queue)
             time = self._queue[0][0]
             self.now = time
             changed: List[str] = []
@@ -892,6 +907,11 @@ class Simulator:
         if events:
             metrics.counter("sim.events").inc(events)
             metrics.counter("sim.evaluations").inc(evaluations)
+            if profiling:
+                prof.add_counters(
+                    sim_events=events, sim_evaluations=evaluations
+                )
+                prof.peak_counters(sim_queue_high_water=queue_hw)
 
     def run_for(self, duration: float, **kwargs) -> None:
         self.run_until(self.now + duration, **kwargs)
